@@ -1,0 +1,69 @@
+"""Bank-size sensitivity — how many registers per bank does the paper's
+machine actually need?
+
+The paper's premise is that monolithic register files fail on *ports*;
+bank capacity is the other sizing axis.  This bench compiles a corpus
+slice on the 4x4 embedded machine across bank sizes and reports how many
+loops need spill code and what the post-allocation kernel looks like —
+locating the knee where Chaitin/Briggs + MVE stops being free.
+"""
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.machine.machine import CopyModel, MachineDescription
+from repro.machine.presets import PAPER_WIDTH
+
+from .conftest import write_artifact
+
+BANK_SIZES = (12, 16, 24, 32, 64)
+
+
+def machine_with_banks(regs_per_bank):
+    return MachineDescription(
+        name=f"4x4-emb-{regs_per_bank}regs",
+        n_clusters=4,
+        fus_per_cluster=PAPER_WIDTH // 4,
+        copy_model=CopyModel.EMBEDDED,
+        regs_per_bank=regs_per_bank,
+    )
+
+
+def run_size(loops, regs_per_bank):
+    machine = machine_with_banks(regs_per_bank)
+    spilled_loops = failures = 0
+    total_spills = 0
+    for loop in loops:
+        try:
+            result = compile_loop(
+                loop, machine, PipelineConfig(run_regalloc=True, max_spill_rounds=6)
+            )
+        except RuntimeError:
+            failures += 1
+            continue
+        if result.metrics.spilled_registers:
+            spilled_loops += 1
+            total_spills += result.metrics.spilled_registers
+    return spilled_loops, total_spills, failures
+
+
+def test_bank_size_sensitivity(benchmark, corpus, results_dir):
+    subset = corpus[:40]
+    results = {}
+    for size in BANK_SIZES:
+        if size == 32:
+            results[size] = benchmark(run_size, subset, size)
+        else:
+            results[size] = run_size(subset, size)
+
+    lines = [
+        "Bank-size sensitivity (4x4 embedded, 40 loops):",
+        f"  {'regs/bank':>10s} {'loops spilling':>15s} {'total spills':>13s} {'unallocatable':>14s}",
+    ]
+    for size in BANK_SIZES:
+        s, t, f = results[size]
+        lines.append(f"  {size:>10d} {s:>15d} {t:>13d} {f:>14d}")
+    write_artifact(results_dir, "bank_size_sensitivity.txt", "\n".join(lines))
+
+    # the published runs use 64 registers per bank: spill-free
+    assert results[64] == (0, 0, 0)
+    # pressure rises monotonically as banks shrink
+    assert results[16][0] >= results[24][0] >= results[32][0]

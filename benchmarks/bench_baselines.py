@@ -1,0 +1,54 @@
+"""Baseline comparison — RCG greedy vs UAS vs BUG vs naive placements.
+
+The paper motivates RCG partitioning against Ellis' BUG and Ozer et
+al.'s UAS (Section 3).  This bench compiles a 60-loop corpus slice for
+the 4x4 embedded machine under each partitioner and reports mean
+normalized kernel size; the RCG greedy must beat random and single-bank
+placement and stay competitive with BUG, and UAS must beat BUG (Ozer's
+published finding).
+"""
+
+import statistics
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+
+from .conftest import write_artifact
+
+PARTITIONERS = ("greedy", "uas", "bug", "round_robin", "random", "single")
+
+
+def run_partitioner(loops, machine, which):
+    normalized = []
+    for loop in loops:
+        result = compile_loop(
+            loop, machine, PipelineConfig(partitioner=which, run_regalloc=False)
+        )
+        normalized.append(result.metrics.normalized_kernel)
+    return statistics.mean(normalized)
+
+
+def test_baseline_comparison(benchmark, corpus, results_dir):
+    machine = paper_machine(4, CopyModel.EMBEDDED)
+    subset = corpus[:60]
+
+    means = {}
+    for which in PARTITIONERS:
+        if which == "greedy":
+            means[which] = benchmark(run_partitioner, subset, machine, which)
+        else:
+            means[which] = run_partitioner(subset, machine, which)
+
+    lines = ["Partitioner comparison (4x4 embedded, 60 loops, ideal = 100):"]
+    for which in PARTITIONERS:
+        lines.append(f"  {which:12s} {means[which]:7.1f}")
+    write_artifact(results_dir, "baseline_comparison.txt", "\n".join(lines))
+
+    assert means["greedy"] < means["random"]
+    assert means["greedy"] < means["single"]
+    assert means["greedy"] < means["round_robin"]
+    # BUG is a strong baseline; greedy should be within 15 points
+    assert means["greedy"] <= means["bug"] + 15.0
+    # Ozer et al.: UAS performs better than BUG (paper Section 3)
+    assert means["uas"] <= means["bug"] + 1.0

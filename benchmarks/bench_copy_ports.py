@@ -1,0 +1,66 @@
+"""Copy-port reconstruction sensitivity.
+
+The paper's per-cluster copy-port formula is unreadable in every
+available scan; this reproduction uses ``log2(N)`` ports (matching the
+two readable data points: 2 clusters -> 1 port, 8 clusters -> 3 ports;
+see ``repro.machine.machine.default_copy_ports``).  This bench sweeps
+the port count around the reconstruction to show how much the copy-unit
+columns of Tables 1-2 depend on it:
+
+* at 2 clusters, the single port is the whole story — doubling it should
+  collapse the copy-unit penalty (the paper's 150 -> near-embedded);
+* at 4 clusters the default (2 ports) sits near saturation, so +-1 port
+  visibly moves the mean.
+
+If the true formula differed by one port anywhere, these rows bound how
+far our reproduced numbers would shift.
+"""
+
+import statistics
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+
+from .conftest import write_artifact
+
+
+def run_config(loops, n_clusters, ports):
+    machine = paper_machine(
+        n_clusters, CopyModel.COPY_UNIT, copy_ports=ports, n_buses=n_clusters
+    )
+    vals = [
+        compile_loop(loop, machine, PipelineConfig(run_regalloc=False))
+        .metrics.normalized_kernel
+        for loop in loops
+    ]
+    return statistics.mean(vals)
+
+
+def test_copy_port_sensitivity(benchmark, corpus, results_dir):
+    subset = corpus[:60]
+    sweep = {}
+    for n_clusters, ports_list in ((2, (1, 2, 4)), (4, (1, 2, 3)), (8, (2, 3, 4))):
+        for ports in ports_list:
+            key = (n_clusters, ports)
+            if key == (4, 2):
+                sweep[key] = benchmark(run_config, subset, n_clusters, ports)
+            else:
+                sweep[key] = run_config(subset, n_clusters, ports)
+
+    lines = [
+        "Copy-port reconstruction sensitivity (copy-unit model, 60 loops, ideal = 100):",
+        "  (defaults marked *: the log2(N) reconstruction)",
+    ]
+    for (n, p), mean in sorted(sweep.items()):
+        from repro.machine.machine import default_copy_ports
+
+        star = "*" if p == default_copy_ports(n) else " "
+        lines.append(f"  {n} clusters, {p} port(s){star}: {mean:6.1f}")
+    write_artifact(results_dir, "copy_port_sensitivity.txt", "\n".join(lines))
+
+    # more ports never hurt
+    assert sweep[(2, 1)] >= sweep[(2, 2)] >= sweep[(2, 4)] - 1e-9
+    assert sweep[(4, 1)] >= sweep[(4, 2)] >= sweep[(4, 3)] - 1e-9
+    # the 2-cluster single port is a real bottleneck (the paper's 150)
+    assert sweep[(2, 1)] - sweep[(2, 2)] >= 3.0

@@ -1,0 +1,67 @@
+"""Figures 1-3 — the Section 4.2 worked example.
+
+Regenerates the paper's demonstration: the 11-op ``xpos`` fragment
+schedules in 7 cycles on the ideal 2-wide unit-latency machine
+(Figure 1); partitioned with the paper's own bank split it needs exactly
+two inter-bank copies and lands within a cycle of the paper's 9-cycle
+hand schedule (Figure 3).
+"""
+
+from repro.core.wholefn import compile_function
+from repro.ddg.builder import build_block_ddg
+from repro.machine.latency import unit_latencies
+from repro.machine.presets import example_machine_2x1, ideal_machine
+from repro.sched.list_scheduler import list_schedule
+from repro.workloads.kernels import xpos_example_block, xpos_example_function
+
+from .conftest import write_artifact
+
+
+def paper_partition_pins(block):
+    regs = {}
+    for op in block.ops:
+        for r in op.registers():
+            regs[r.name] = r
+    p1 = {"r1", "r2", "r4", "r5", "r6", "r10"}
+    return {reg: (0 if name in p1 else 1) for name, reg in regs.items()}
+
+
+def test_figure1_ideal_schedule(benchmark, results_dir):
+    machine = ideal_machine(width=2, latencies=unit_latencies())
+
+    def compile_ideal():
+        block = xpos_example_block()
+        ddg = build_block_ddg(block, machine.latencies)
+        return list_schedule(ddg, machine)
+
+    sched = benchmark(compile_ideal)
+    write_artifact(
+        results_dir,
+        "figure1_ideal_schedule.txt",
+        f"ideal 2-wide unit-latency schedule ({sched.length} cycles, paper: 7)\n"
+        + sched.format(),
+    )
+    assert sched.length == 7
+
+
+def test_figure3_partitioned_schedule(benchmark, results_dir):
+    machine = example_machine_2x1()
+
+    def compile_partitioned():
+        fn = xpos_example_function()
+        return compile_function(
+            fn, machine, precolored=paper_partition_pins(fn.blocks[0])
+        )
+
+    result = benchmark(compile_partitioned)
+    block_name = result.function.blocks[0].name
+    sched = result.clustered_schedules[block_name]
+    write_artifact(
+        results_dir,
+        "figure3_partitioned_schedule.txt",
+        f"partitioned schedule with the paper's banks "
+        f"({sched.length} cycles, {result.n_copies} copies; paper: 9 cycles, 2 copies)\n"
+        + sched.format(),
+    )
+    assert result.n_copies == 2
+    assert 8 <= sched.length <= 10

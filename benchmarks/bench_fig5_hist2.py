@@ -1,0 +1,24 @@
+"""Figure 5 — degradation histogram, 2 clusters of 8 units.
+
+Regenerates the paper's Figure 5: the percentage of loops in each
+degradation bucket for the 2-cluster machine under both copy models.
+Paper headline: "roughly 60% of the loops required no degradation."
+"""
+
+from repro.evalx.figures import compute_figure
+
+from .conftest import write_artifact
+
+
+def test_figure5_histogram_2clusters(benchmark, corpus_run, results_dir):
+    fig = benchmark(compute_figure, corpus_run, 2)
+    write_artifact(results_dir, "figure5_hist_2clusters.txt", fig.format())
+
+    assert fig.figure_number == 5
+    # ~60% zero degradation (paper); synthetic corpus band 50-75%
+    assert 50.0 <= fig.zero_degradation_pct <= 75.0, fig.zero_degradation_pct
+    # histograms are proper distributions
+    assert abs(sum(fig.embedded.values()) - 100.0) < 1e-6
+    assert abs(sum(fig.copy_unit.values()) - 100.0) < 1e-6
+    # the 0.00% bucket dominates at 2 clusters
+    assert fig.embedded["0.00%"] == max(fig.embedded.values())

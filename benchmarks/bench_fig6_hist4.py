@@ -1,0 +1,21 @@
+"""Figure 6 — degradation histogram, 4 clusters of 4 units.
+
+Paper headline: "The 4-cluster model scheduled about 50% of the loops
+with no degradation."
+"""
+
+from repro.evalx.figures import compute_figure
+
+from .conftest import write_artifact
+
+
+def test_figure6_histogram_4clusters(benchmark, corpus_run, results_dir):
+    fig = benchmark(compute_figure, corpus_run, 4)
+    write_artifact(results_dir, "figure6_hist_4clusters.txt", fig.format())
+
+    assert fig.figure_number == 6
+    # ~50% zero degradation (paper); synthetic corpus band 38-65%
+    assert 38.0 <= fig.zero_degradation_pct <= 65.0, fig.zero_degradation_pct
+    # fewer clean loops than the 2-cluster machine
+    fig2 = compute_figure(corpus_run, 2)
+    assert fig.zero_degradation_pct <= fig2.zero_degradation_pct

@@ -1,0 +1,24 @@
+"""Figure 7 — degradation histogram, 8 clusters of 2 units.
+
+Paper headline: "the 8-cluster about 40%" of loops at no degradation,
+with the copy-unit model ahead of embedded (2-wide clusters cannot absorb
+copies into FU slots).
+"""
+
+from repro.evalx.figures import compute_figure
+
+from .conftest import write_artifact
+
+
+def test_figure7_histogram_8clusters(benchmark, corpus_run, results_dir):
+    fig = benchmark(compute_figure, corpus_run, 8)
+    write_artifact(results_dir, "figure7_hist_8clusters.txt", fig.format())
+
+    assert fig.figure_number == 7
+    # monotonic decline across Figures 5-7 (paper: 60% -> 50% -> 40%)
+    fig4 = compute_figure(corpus_run, 4)
+    assert fig.zero_degradation_pct <= fig4.zero_degradation_pct
+    # copy-unit keeps more loops clean than embedded at 2-wide clusters
+    assert fig.copy_unit_zero >= fig.embedded_zero
+    # the heavy tail exists: some loops degrade past 90%
+    assert fig.embedded[">90%"] > 0

@@ -1,0 +1,49 @@
+"""Port-pressure bench — quantifying the paper's motivation.
+
+Sections 1 and 4 argue that a monolithic register bank for a 16-wide
+machine needs an impractical number of simultaneous ports, and that
+partitioning is the fix.  This bench measures actual worst-cycle port
+demand over the corpus: the monolithic bank's requirement vs the worst
+single bank after 4-way RCG partitioning.
+"""
+
+import statistics
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.machine.machine import CopyModel
+from repro.machine.ports import port_pressure
+from repro.machine.presets import paper_machine
+
+from .conftest import write_artifact
+
+
+def run_pressure(loops):
+    machine = paper_machine(4, CopyModel.EMBEDDED)
+    mono, banked = [], []
+    for loop in loops:
+        result = compile_loop(loop, machine, PipelineConfig(run_regalloc=False))
+        mono.append(port_pressure(result.ideal).monolithic_max_total)
+        banked.append(
+            port_pressure(
+                result.kernel, result.partitioned.partition
+            ).max_total_per_bank
+        )
+    return mono, banked
+
+
+def test_port_pressure(benchmark, corpus, results_dir):
+    subset = corpus[:60]
+    mono, banked = benchmark(run_pressure, subset)
+
+    lines = [
+        "Register-file port pressure (worst cycle, 60 loops, 16-wide):",
+        f"  monolithic bank : mean {statistics.mean(mono):5.1f}  max {max(mono)}",
+        f"  worst of 4 banks: mean {statistics.mean(banked):5.1f}  max {max(banked)}",
+        f"  mean reduction  : {statistics.mean(m / max(1, b) for m, b in zip(mono, banked)):.2f}x",
+    ]
+    write_artifact(results_dir, "port_pressure.txt", "\n".join(lines))
+
+    # partitioning must slash per-bank port requirements — the premise
+    assert statistics.mean(banked) < statistics.mean(mono) / 2
+    # and the monolithic demand is genuinely large on a 16-wide machine
+    assert max(mono) >= 24

@@ -1,0 +1,58 @@
+"""Transformation study — unrolling vs partitioned degradation.
+
+Section 7's future work: "investigate other loop optimizations that can
+increase data-independent parallelism in innermost loops."  This bench
+unrolls a set of recurrence-bound kernels x1/x2/x4 and compiles each for
+the 4x4 embedded machine, reporting per-original-iteration cost (II /
+factor).  Unrolling fills the recurrence-bound pipeline's idle slots with
+independent work, so the per-iteration cost must not regress, and the
+register pressure cost is made visible.
+"""
+
+import statistics
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.transform import unroll_loop
+from repro.workloads.kernels import make_kernel
+
+from .conftest import write_artifact
+
+KERNELS = ("lfk5_tridiag", "lfk11_psum", "dot", "rec_d2", "daxpy")
+FACTORS = (1, 2, 4)
+
+
+def run_factor(factor):
+    machine = paper_machine(4, CopyModel.EMBEDDED)
+    per_iter, pressures = [], []
+    for name in KERNELS:
+        loop = unroll_loop(make_kernel(name), factor)
+        result = compile_loop(loop, machine, PipelineConfig(run_regalloc=True))
+        per_iter.append(result.metrics.partitioned_ii / factor)
+        pressures.append(result.metrics.max_bank_pressure)
+    return statistics.mean(per_iter), statistics.mean(pressures)
+
+
+def test_unroll_study(benchmark, results_dir):
+    results = {}
+    for factor in FACTORS:
+        if factor == 2:
+            results[factor] = benchmark(run_factor, factor)
+        else:
+            results[factor] = run_factor(factor)
+
+    lines = [
+        "Unrolling study (recurrence-heavy kernels, 4x4 embedded):",
+        f"  {'factor':>6s} {'II/original-iteration':>22s} {'mean bank MaxLive':>18s}",
+    ]
+    for factor in FACTORS:
+        ii, pressure = results[factor]
+        lines.append(f"  {factor:>6d} {ii:>22.2f} {pressure:>18.1f}")
+    write_artifact(results_dir, "unroll_study.txt", "\n".join(lines))
+
+    # per-original-iteration cost must not regress when unrolling
+    assert results[2][0] <= results[1][0] * 1.1
+    assert results[4][0] <= results[1][0] * 1.1
+    # and register pressure visibly grows - the trade is real
+    assert results[4][1] > results[1][1]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation (Tables 1-2, Figures 5-7).
+
+Software-pipelines the 211-loop corpus for all six clustered machine
+configurations and prints the complete Section 6 report with the paper's
+published numbers inline.
+
+Run:  python examples/corpus_study.py          # full 211-loop corpus
+      python examples/corpus_study.py --quick  # 40-loop subset (~1s)
+"""
+
+import argparse
+
+from repro.core import PipelineConfig
+from repro.evalx import render_full_report, run_evaluation
+from repro.workloads import corpus_summary, spec95_corpus
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run a 40-loop subset"
+    )
+    parser.add_argument(
+        "--regalloc",
+        action="store_true",
+        help="also run per-bank Chaitin/Briggs assignment (slower)",
+    )
+    args = parser.parse_args()
+
+    loops = spec95_corpus(n=40 if args.quick else 211)
+    summary = corpus_summary(loops)
+    print(f"corpus: {summary}", flush=True)
+
+    run = run_evaluation(
+        loops=loops,
+        config=PipelineConfig(run_regalloc=args.regalloc),
+        progress=True,
+    )
+    print()
+    print(render_full_report(run, corpus_note=f"corpus shape: {summary}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Explore the machine-design space for one kernel.
+
+The paper's Section 6.1 fixes a 16-wide meta-model; this script varies
+the knobs — cluster count, copy model, copy ports, buses and copy
+latencies — for a single kernel and shows how the achieved II, the copy
+count and the register pressure respond.  Useful for building intuition
+about why the embedded and copy-unit models cross over between 2 and 8
+clusters.
+
+Run:  python examples/machine_explorer.py [kernel]
+      (kernels: see repro.workloads.NAMED_KERNELS; default lfk1_hydro)
+"""
+
+import sys
+
+from repro.core import PipelineConfig, compile_loop
+from repro.machine import CopyModel, paper_machine
+from repro.machine.latency import PAPER_LATENCIES
+from repro.workloads import NAMED_KERNELS, make_kernel
+
+
+def row(machine, loop):
+    result = compile_loop(loop, machine, PipelineConfig(run_regalloc=True))
+    m = result.metrics
+    return (
+        f"  {machine.describe():34s} II {m.ideal_ii:>2} -> {m.partitioned_ii:>2} "
+        f"({m.degradation_pct:+4.0f}%)  copies {m.n_body_copies:>2}  "
+        f"pressure {m.max_bank_pressure:>2}  unroll x{result.bank_assignment.unroll}"
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lfk1_hydro"
+    if name not in NAMED_KERNELS:
+        raise SystemExit(f"unknown kernel {name!r}; pick from {sorted(NAMED_KERNELS)}")
+
+    print(f"kernel: {name}\n")
+
+    print("cluster count sweep (paper's six configurations):")
+    for n in (2, 4, 8):
+        for model in (CopyModel.EMBEDDED, CopyModel.COPY_UNIT):
+            print(row(paper_machine(n, model), make_kernel(name)))
+
+    print("\ncopy-unit bandwidth sweep (4 clusters):")
+    for ports, buses in ((1, 1), (1, 4), (2, 4), (4, 8)):
+        machine = paper_machine(
+            4, CopyModel.COPY_UNIT, copy_ports=ports, n_buses=buses
+        )
+        print(row(machine, make_kernel(name)))
+
+    print("\ninter-cluster copy latency sweep (4 clusters, embedded):")
+    for int_lat, fp_lat in ((1, 1), (2, 3), (4, 6)):
+        lat = PAPER_LATENCIES.replaced(copy_int=int_lat, copy_float=fp_lat)
+        machine = paper_machine(4, CopyModel.EMBEDDED, latencies=lat)
+        print(row(machine, make_kernel(name)))
+
+
+if __name__ == "__main__":
+    main()

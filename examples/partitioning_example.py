@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's Section 4.2 worked example, regenerated (Figures 1-3).
+
+The statement ``xpos = xpos + (xvel*t) + (xaccel*t*t/2.0)`` compiles to
+11 intermediate operations.  This script prints:
+
+1. the ideal 7-cycle schedule on a 2-wide, unit-latency machine with one
+   monolithic register bank (Figure 1);
+2. the register component graph built from that schedule (Figure 2);
+3. the schedule after partitioning onto two single-FU clusters with the
+   paper's own bank split, with its two inter-bank copies (Figure 3).
+
+Run:  python examples/partitioning_example.py
+"""
+
+from repro.core.wholefn import compile_function
+from repro.ddg import build_block_ddg
+from repro.ir.printer import format_operation
+from repro.machine import example_machine_2x1, ideal_machine, unit_latencies
+from repro.sched import list_schedule
+from repro.workloads import xpos_example_block, xpos_example_function
+
+
+def paper_partition(block):
+    """P1 = {r1, r2, r4, r5, r6, r10}, P2 = {r3, r7, r8, r9} (Section 4.2)."""
+    regs = {r.name: r for op in block.ops for r in op.registers()}
+    p1 = {"r1", "r2", "r4", "r5", "r6", "r10"}
+    return {reg: (0 if name in p1 else 1) for name, reg in regs.items()}
+
+
+def main() -> None:
+    block = xpos_example_block()
+    print("=== intermediate code (Figure 1/2 left column) ===")
+    for op in block.ops:
+        print(f"  {format_operation(op)}")
+
+    ideal = ideal_machine(width=2, latencies=unit_latencies())
+    ddg = build_block_ddg(block, ideal.latencies)
+    sched = list_schedule(ddg, ideal)
+    print(f"\n=== Figure 1: ideal schedule ({sched.length} cycles; paper: 7) ===")
+    print(sched.format())
+
+    fn = xpos_example_function()
+    machine = example_machine_2x1()
+    result = compile_function(
+        fn, machine, precolored=paper_partition(fn.blocks[0])
+    )
+
+    print("\n=== Figure 2: register component graph ===")
+    for a, b, w in result.rcg.edges():
+        print(f"  {a} -- {b}: {w:+.2f}")
+
+    print("\n=== the paper's partition ===")
+    for bank in (0, 1):
+        names = ", ".join(r.name for r in result.partition.registers_in_bank(bank))
+        print(f"  bank {bank}: {names}")
+
+    block_name = fn.blocks[0].name
+    clustered = result.clustered_schedules[block_name]
+    print(
+        f"\n=== Figure 3: partitioned schedule "
+        f"({clustered.length} cycles, {result.n_copies} copies; paper: 9 cycles, 2 copies) ==="
+    )
+    print(clustered.format())
+
+    print(
+        f"\nour list scheduler overlaps one copy with a load, beating the "
+        f"paper's hand schedule by {9 - clustered.length} cycle(s)"
+        if clustered.length < 9
+        else ""
+    )
+
+    greedy = compile_function(xpos_example_function(), example_machine_2x1())
+    gsched = greedy.clustered_schedules[block_name]
+    print(
+        f"fully automatic greedy partition: {gsched.length} cycles with "
+        f"{greedy.n_copies} copies (hand partitions beat greedy heuristics "
+        "on tiny fragments; the corpus benches measure the realistic case)"
+    )
+
+
+if __name__ == "__main__":
+    main()

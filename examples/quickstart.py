@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one loop for a clustered VLIW, end to end.
+
+Builds a DAXPY loop, runs the paper's five-step pipeline (ideal modulo
+schedule -> RCG -> greedy bank partition -> copy insertion + clustered
+reschedule -> per-bank Chaitin/Briggs assignment), validates the result
+against a cycle-accurate simulation, and prints every artifact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PipelineConfig, compile_loop
+from repro.ir import LoopBuilder, format_loop
+from repro.machine import CopyModel, paper_machine
+
+
+def build_daxpy():
+    """y[i] = a * x[i] + y[i], with `a` loop-invariant."""
+    b = LoopBuilder("daxpy", trip_count_hint=8)
+    b.fload("f1", "x")
+    b.fload("f2", "y")
+    b.fmul("f3", "f1", "fa")
+    b.fadd("f4", "f3", "f2")
+    b.fstore("f4", "y")
+    b.live_in("fa")
+    return b.build()
+
+
+def main() -> None:
+    loop = build_daxpy()
+    print("=== source loop ===")
+    print(format_loop(loop))
+
+    machine = paper_machine(n_clusters=2, copy_model=CopyModel.EMBEDDED)
+    print(f"\n=== target machine: {machine.describe()} ===")
+
+    result = compile_loop(loop, machine, PipelineConfig(run_simulation=True))
+    m = result.metrics
+
+    print("\n=== ideal (monolithic-bank) kernel ===")
+    print(result.ideal.format())
+
+    print("\n=== register component graph ===")
+    for a, b_, w in result.rcg.edges():
+        kind = "affinity" if w > 0 else "anti-affinity"
+        print(f"  {a} -- {b_}: {w:+.2f} ({kind})")
+
+    print("\n=== bank partition ===")
+    for bank in range(machine.n_clusters):
+        regs = result.partition.registers_in_bank(bank)
+        if regs:
+            print(f"  bank {bank}: {', '.join(r.name for r in regs)}")
+
+    print("\n=== partitioned loop (copies inserted, ops pinned) ===")
+    print(format_loop(result.partitioned.loop))
+
+    print("\n=== clustered kernel ===")
+    print(result.kernel.format())
+
+    print("\n=== physical register assignment ===")
+    ba = result.bank_assignment
+    print(f"  kernel unrolled x{ba.unroll} for modulo variable expansion")
+    for (rid, rep), (bank, idx) in sorted(ba.physical.items())[:12]:
+        print(f"  vreg {rid} replica {rep} -> b{bank}.r{idx}")
+
+    print("\n=== metrics ===")
+    print(f"  ideal II           {m.ideal_ii}  (IPC {m.ideal_ipc:.2f})")
+    print(f"  partitioned II     {m.partitioned_ii}  (IPC {m.partitioned_ipc:.2f})")
+    print(f"  copies             {m.n_body_copies} in-kernel, "
+          f"{m.n_preheader_copies} preheader")
+    print(f"  degradation        {m.degradation_pct:.0f}% "
+          f"(normalized kernel {m.normalized_kernel:.0f}, ideal = 100)")
+    print(f"  simulator checked  {m.sim_checked}")
+
+
+if __name__ == "__main__":
+    main()

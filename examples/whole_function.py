@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Whole-function partitioning (the paper's Sections 5 and 7 claim).
+
+The RCG framework "is easily applicable to entire programs, since we
+could easily use both non-loop and loop code to build our register
+component graph".  This script builds a small multi-block function —
+an entry block, a hot inner block, and an exit block sharing values —
+accumulates one function-wide RCG from the per-block ideal schedules
+(each weighted by nesting depth), partitions once, and reports the
+depth-weighted degradation on the 4-wide 4-cluster machine of the
+authors' earlier whole-program study.
+
+Run:  python examples/whole_function.py
+"""
+
+from repro.core.wholefn import compile_function
+from repro.ir import Function, LoopBuilder, MemRef, Opcode
+from repro.machine import prior_work_machine_4wide
+
+
+def build_function() -> Function:
+    fn = Function("saxpy_driver")
+
+    entry = LoopBuilder("entry", depth=0)
+    entry.load("r1", "n", scalar=True)
+    entry.shl("r2", "r1", 3)
+    entry.load("r3", "alpha_bits", scalar=True)
+    entry.store("r2", "bytecount", scalar=True)
+    fn.add_block(entry.build_block(depth=0))
+
+    body = LoopBuilder("body", depth=1)
+    body.fload("f1", "x")
+    body.fload("f2", "y")
+    body.fmul("f3", "f1", "falpha")
+    body.fadd("f4", "f3", "f2")
+    body.fstore("f4", "y")
+    body.fadd("f5", "f5", "f4")  # running checksum
+    fn.add_block(body.build_block(depth=1))
+
+    exit_ = LoopBuilder("exit", depth=0)
+    f5 = body.factory.get("f5")
+    exit_.emit(Opcode.FSTORE, None, (f5,), MemRef("checksum", scalar=True))
+    fn.add_block(exit_.build_block(depth=0))
+    return fn
+
+
+def main() -> None:
+    fn = build_function()
+    machine = prior_work_machine_4wide()
+    print(f"function: {fn.name} ({fn.n_operations} ops in {len(fn.blocks)} blocks)")
+    print(f"machine:  {machine.describe()} ({machine.width}-wide)\n")
+
+    result = compile_function(fn, machine)
+
+    print("partition:")
+    for bank in machine.clusters:
+        regs = result.partition.registers_in_bank(bank)
+        if regs:
+            print(f"  bank {bank}: {', '.join(r.name for r in regs)}")
+
+    print("\nper-block schedules (ideal -> clustered cycles):")
+    for block in fn.blocks:
+        ideal = result.ideal_schedules[block.name]
+        clustered = result.clustered_schedules[block.name]
+        print(f"  {block.name:14s} depth {block.depth}:  "
+              f"{ideal.length:>2} -> {clustered.length:>2}")
+        for line in clustered.format().splitlines():
+            print(f"      {line}")
+
+    print(f"\ncopies inserted: {result.n_copies} "
+          f"({result.n_entry_copies} at block entries)")
+    print(f"depth-weighted degradation: {result.degradation_pct:.1f}% "
+          "(the authors' whole-program study found ~11% on this machine)")
+
+
+if __name__ == "__main__":
+    main()

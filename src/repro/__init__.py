@@ -1,0 +1,35 @@
+"""repro — Register Assignment for Software Pipelining with Partitioned
+Register Banks (Hiser, Carr, Sweany, Beaty; IPPS 2000), reproduced.
+
+Top-level convenience surface; the subpackages remain the canonical API:
+
+* :mod:`repro.ir` — intermediate representation,
+* :mod:`repro.machine` — clustered VLIW machine models,
+* :mod:`repro.ddg` — dependence analysis (RecII/ResII/MinII),
+* :mod:`repro.sched` — modulo (IMS, Swing) and list scheduling,
+* :mod:`repro.core` — the RCG partitioner and the five-step pipeline,
+* :mod:`repro.regalloc` — Chaitin/Briggs + MVE, rotating files, spilling,
+* :mod:`repro.sim` — reference interpreter and cycle-accurate executor,
+* :mod:`repro.codegen` — final assembly emission,
+* :mod:`repro.transform` — loop unrolling,
+* :mod:`repro.workloads` — kernels, synthetic corpora,
+* :mod:`repro.evalx` — tables, figures, diagnosis, export.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pipeline import CompilationResult, PipelineConfig, compile_loop
+from repro.ir.builder import LoopBuilder
+from repro.machine.machine import CopyModel
+from repro.machine.presets import ideal_machine, paper_machine
+
+__all__ = [
+    "__version__",
+    "CompilationResult",
+    "PipelineConfig",
+    "compile_loop",
+    "LoopBuilder",
+    "CopyModel",
+    "ideal_machine",
+    "paper_machine",
+]

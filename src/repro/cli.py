@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+::
+
+    python -m repro kernels                     # list the named kernels
+    python -m repro compile daxpy --clusters 4  # compile one loop, show artifacts
+    python -m repro compile my_loop.ir --model copy_unit --sim
+    python -m repro evaluate --quick 40         # Tables 1-2 + Figures 5-7
+    python -m repro tune --trials 10            # heuristic auto-tuning (Sec. 7)
+
+``compile`` accepts either a named kernel (see ``kernels``) or a path to
+a textual IR file in the :mod:`repro.ir.parser` format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.ir.block import Loop
+from repro.ir.parser import parse_loop
+from repro.ir.printer import format_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+
+
+def _load_loop(spec: str) -> Loop:
+    from repro.workloads.kernels import NAMED_KERNELS, make_kernel
+
+    if spec in NAMED_KERNELS:
+        return make_kernel(spec)
+    path = pathlib.Path(spec)
+    if path.exists():
+        return parse_loop(path.read_text(encoding="utf-8"))
+    raise SystemExit(
+        f"error: {spec!r} is neither a named kernel nor a readable file; "
+        f"named kernels: {', '.join(sorted(NAMED_KERNELS))}"
+    )
+
+
+def cmd_kernels(_args: argparse.Namespace) -> int:
+    from repro.ddg.analysis import recurrence_ii
+    from repro.ddg.builder import build_loop_ddg
+    from repro.workloads.kernels import NAMED_KERNELS, make_kernel
+
+    print(f"{'name':16s} {'ops':>4s} {'RecII':>6s}  description")
+    for name, factory in sorted(NAMED_KERNELS.items()):
+        loop = factory()
+        rec = recurrence_ii(build_loop_ddg(loop))
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:16s} {len(loop.ops):>4d} {rec:>6d}  {doc}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    loop = _load_loop(args.loop)
+    if args.unroll > 1:
+        from repro.transform import unroll_loop
+
+        loop = unroll_loop(loop, args.unroll)
+    model = CopyModel.EMBEDDED if args.model == "embedded" else CopyModel.COPY_UNIT
+    machine = paper_machine(args.clusters, model, width=args.width)
+    config = PipelineConfig(
+        partitioner=args.partitioner,
+        scheduler=args.scheduler,
+        run_simulation=args.sim,
+        run_regalloc=not args.no_regalloc,
+    )
+    result = compile_loop(loop, machine, config)
+    m = result.metrics
+
+    print(f"loop: {loop.name} ({len(loop.ops)} ops)   machine: {machine.describe()}")
+    print(f"partitioner: {args.partitioner}")
+    print("\n--- source ---")
+    print(format_loop(loop))
+    print("\n--- ideal kernel ---")
+    print(result.ideal.format())
+    print("\n--- partition ---")
+    for bank in machine.clusters:
+        regs = result.partition.registers_in_bank(bank)
+        if regs:
+            print(f"  bank {bank}: {', '.join(r.name for r in regs)}")
+    print("\n--- clustered kernel ---")
+    print(result.kernel.format())
+    print("\n--- metrics ---")
+    print(f"  II {m.ideal_ii} -> {m.partitioned_ii}   "
+          f"degradation {m.degradation_pct:+.0f}%   "
+          f"copies {m.n_body_copies}+{m.n_preheader_copies}p   "
+          f"IPC {m.ideal_ipc:.2f} -> {m.partitioned_ipc:.2f}")
+    if result.bank_assignment is not None:
+        print(f"  register assignment: unroll x{result.bank_assignment.unroll}, "
+              f"max pressure {m.max_bank_pressure}, spills {m.spilled_registers}")
+    if args.sim:
+        print("  simulator equivalence: PASSED")
+    if args.emit:
+        from repro.codegen import emit_assembly
+
+        print("\n--- final assembly (physical registers) ---")
+        print(emit_assembly(result).text())
+    if args.expand:
+        from repro.codegen import emit_expanded
+
+        print(f"\n--- expanded pipeline ({args.expand} iterations) ---")
+        print(emit_expanded(result, args.expand).text())
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evalx.export import run_to_csv, run_to_json
+    from repro.evalx.report import render_full_report
+    from repro.evalx.runner import run_evaluation
+    from repro.workloads.corpus import spec95_corpus
+
+    n = args.quick if args.quick else 211
+    loops = spec95_corpus(n=n)
+    run = run_evaluation(
+        loops=loops,
+        config=PipelineConfig(run_regalloc=args.regalloc),
+        progress=args.progress,
+    )
+    print(render_full_report(run))
+    if args.csv:
+        pathlib.Path(args.csv).write_text(run_to_csv(run), encoding="utf-8")
+        print(f"\nper-loop CSV written to {args.csv}")
+    if args.json:
+        pathlib.Path(args.json).write_text(run_to_json(run), encoding="utf-8")
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.evalx.diagnose import diagnose
+
+    loop = _load_loop(args.loop)
+    model = CopyModel.EMBEDDED if args.model == "embedded" else CopyModel.COPY_UNIT
+    machine = paper_machine(args.clusters, model)
+    result = compile_loop(
+        loop, machine, PipelineConfig(partitioner=args.partitioner, run_regalloc=False)
+    )
+    d = diagnose(result)
+    print(f"loop: {loop.name}   machine: {machine.describe()}")
+    print(d.format())
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.tuning import describe_config, tune_heuristic
+    from repro.machine.machine import CopyModel
+    from repro.workloads.synthetic import PROFILES, SyntheticLoopGenerator
+
+    gen = SyntheticLoopGenerator(args.seed + 1)  # training set, not the corpus
+    names = sorted(PROFILES)
+    loops = [
+        gen.generate(f"train_{i}", PROFILES[names[i % len(names)]])
+        for i in range(args.loops)
+    ]
+    machine = paper_machine(args.clusters, CopyModel.EMBEDDED)
+    result = tune_heuristic(loops, machine, n_trials=args.trials, seed=args.seed)
+    print(f"incumbent objective: {result.incumbent_objective:.1f} (ideal = 100)")
+    print(f"best objective:      {result.best_objective:.1f} "
+          f"({result.improvement:+.1f})")
+    print(f"best config:         {describe_config(result.best_config)}")
+    print(f"trials:              {len(result.history) - 1}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Register assignment for software pipelining with "
+        "partitioned register banks (IPPS 2000) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the named kernels").set_defaults(
+        func=cmd_kernels
+    )
+
+    c = sub.add_parser("compile", help="compile one loop and show artifacts")
+    c.add_argument("loop", help="named kernel or path to a textual IR file")
+    c.add_argument("--clusters", type=int, default=4, choices=(2, 4, 8))
+    c.add_argument("--width", type=int, default=16)
+    c.add_argument("--model", choices=("embedded", "copy_unit"), default="embedded")
+    c.add_argument(
+        "--partitioner",
+        choices=("greedy", "iterative", "bug", "uas", "random", "round_robin", "single"),
+        default="greedy",
+    )
+    c.add_argument(
+        "--scheduler",
+        choices=("ims", "swing"),
+        default="ims",
+        help="modulo scheduler: Rau's IMS or Swing (lifetime-sensitive)",
+    )
+    c.add_argument("--unroll", type=int, default=1, metavar="U",
+                   help="unroll the loop U times before compiling")
+    c.add_argument("--sim", action="store_true", help="validate via simulation")
+    c.add_argument("--no-regalloc", action="store_true")
+    c.add_argument(
+        "--emit",
+        action="store_true",
+        help="print final assembly with physical registers (MVE applied)",
+    )
+    c.add_argument(
+        "--expand",
+        type=int,
+        metavar="T",
+        help="print the pipeline fully expanded for T iterations",
+    )
+    c.set_defaults(func=cmd_compile)
+
+    e = sub.add_parser("evaluate", help="regenerate Tables 1-2 and Figures 5-7")
+    e.add_argument("--quick", type=int, metavar="N", help="use only N loops")
+    e.add_argument("--regalloc", action="store_true")
+    e.add_argument("--progress", action="store_true")
+    e.add_argument("--csv", metavar="PATH", help="write per-loop metrics CSV")
+    e.add_argument("--json", metavar="PATH", help="write aggregate + per-loop JSON")
+    e.set_defaults(func=cmd_evaluate)
+
+    d = sub.add_parser(
+        "diagnose", help="explain one loop's degradation (recurrence vs resources)"
+    )
+    d.add_argument("loop", help="named kernel or path to a textual IR file")
+    d.add_argument("--clusters", type=int, default=4, choices=(2, 4, 8))
+    d.add_argument("--model", choices=("embedded", "copy_unit"), default="embedded")
+    d.add_argument(
+        "--partitioner",
+        choices=("greedy", "iterative", "bug", "uas", "random", "round_robin", "single"),
+        default="greedy",
+    )
+    d.set_defaults(func=cmd_diagnose)
+
+    t = sub.add_parser("tune", help="stochastic heuristic tuning (Section 7)")
+    t.add_argument("--trials", type=int, default=10)
+    t.add_argument("--loops", type=int, default=12)
+    t.add_argument("--clusters", type=int, default=4, choices=(2, 4, 8))
+    t.add_argument("--seed", type=int, default=0)
+    t.set_defaults(func=cmd_tune)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Final code emission.
+
+Applies the physical register assignment (step 5's output) to the
+modulo-scheduled kernel and renders the complete software pipeline —
+prologue, MVE-unrolled kernel with renamed registers, epilogue — as a
+textual listing, the artifact an actual backend would hand to an
+assembler.
+"""
+
+from repro.codegen.emit import AssemblyListing, emit_assembly, emit_expanded
+
+__all__ = ["AssemblyListing", "emit_assembly", "emit_expanded"]

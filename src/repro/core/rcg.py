@@ -1,0 +1,130 @@
+"""The register component graph (RCG).
+
+Nodes are symbolic registers; an undirected weighted edge connects two
+registers that the weighting pass wants in the same bank (positive weight)
+or in different banks (negative weight).  "The major advantage of the
+register component graph is that it abstracts away machine-dependent
+details into costs associated with the nodes and edges of the graph"
+(Section 4.1) — nothing in this structure knows about clusters, latencies
+or schedules; those are encoded entirely by the weighting pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ir.registers import SymbolicRegister
+
+
+def _edge_key(a: SymbolicRegister, b: SymbolicRegister) -> tuple[int, int]:
+    return (a.rid, b.rid) if a.rid <= b.rid else (b.rid, a.rid)
+
+
+@dataclass
+class RegisterComponentGraph:
+    """Weighted undirected graph over symbolic registers."""
+
+    _nodes: dict[int, SymbolicRegister] = field(default_factory=dict)
+    _node_weight: dict[int, float] = field(default_factory=dict)
+    _edges: dict[tuple[int, int], float] = field(default_factory=dict)
+    _adj: dict[int, set[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, reg: SymbolicRegister) -> None:
+        if reg.rid not in self._nodes:
+            self._nodes[reg.rid] = reg
+            self._node_weight[reg.rid] = 0.0
+            self._adj[reg.rid] = set()
+
+    def add_node_weight(self, reg: SymbolicRegister, weight: float) -> None:
+        self.add_node(reg)
+        self._node_weight[reg.rid] += weight
+
+    def add_edge_weight(self, a: SymbolicRegister, b: SymbolicRegister, weight: float) -> None:
+        """Add ``weight`` to edge (a, b), creating it at 0 if absent.
+
+        Self-edges are meaningless for partitioning (a register is always
+        in its own bank) and are rejected.
+        """
+        if a.rid == b.rid:
+            raise ValueError(f"RCG self-edge on {a}")
+        self.add_node(a)
+        self.add_node(b)
+        key = _edge_key(a, b)
+        self._edges[key] = self._edges.get(key, 0.0) + weight
+        self._adj[a.rid].add(b.rid)
+        self._adj[b.rid].add(a.rid)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, reg: SymbolicRegister) -> bool:
+        return reg.rid in self._nodes
+
+    def nodes(self) -> list[SymbolicRegister]:
+        """Registers in deterministic (rid) order."""
+        return [self._nodes[rid] for rid in sorted(self._nodes)]
+
+    def node_weight(self, reg: SymbolicRegister) -> float:
+        return self._node_weight[reg.rid]
+
+    def edge_weight(self, a: SymbolicRegister, b: SymbolicRegister) -> float:
+        return self._edges.get(_edge_key(a, b), 0.0)
+
+    def neighbors(self, reg: SymbolicRegister) -> Iterator[tuple[SymbolicRegister, float]]:
+        """(neighbor, edge weight) pairs in deterministic order."""
+        for rid in sorted(self._adj.get(reg.rid, ())):
+            yield self._nodes[rid], self._edges[_edge_key(reg, self._nodes[rid])]
+
+    def edges(self) -> Iterator[tuple[SymbolicRegister, SymbolicRegister, float]]:
+        for (ra, rb), w in sorted(self._edges.items()):
+            yield self._nodes[ra], self._nodes[rb], w
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def nodes_by_weight(self) -> list[SymbolicRegister]:
+        """Nodes in decreasing weight order (the greedy placement order of
+        Figure 4); rid breaks ties for determinism."""
+        return sorted(
+            self._nodes.values(), key=lambda r: (-self._node_weight[r.rid], r.rid)
+        )
+
+    # ------------------------------------------------------------------
+    # partition-quality accounting (used by reports and tests)
+    # ------------------------------------------------------------------
+    def cut_weight(self, assignment: dict[int, int]) -> float:
+        """Sum of weights of edges whose endpoints land in different banks
+        under ``assignment`` (rid -> bank).  A good partition cuts little
+        positive weight and much negative weight."""
+        total = 0.0
+        for (ra, rb), w in self._edges.items():
+            if assignment.get(ra) != assignment.get(rb):
+                total += w
+        return total
+
+    def internal_weight(self, assignment: dict[int, int]) -> float:
+        """Sum of weights kept inside banks."""
+        total = 0.0
+        for (ra, rb), w in self._edges.items():
+            if assignment.get(ra) == assignment.get(rb):
+                total += w
+        return total
+
+    def to_networkx(self):
+        """Export to a networkx graph for ad-hoc analysis and plotting."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for reg in self.nodes():
+            g.add_node(reg.rid, name=reg.name, weight=self._node_weight[reg.rid])
+        for (ra, rb), w in self._edges.items():
+            g.add_edge(ra, rb, weight=w)
+        return g

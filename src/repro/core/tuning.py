@@ -1,0 +1,138 @@
+"""Offline stochastic tuning of the RCG weighting heuristic.
+
+Section 7: "In the future, we will investigate fine-tuning our greedy
+heuristic by using off-line stochastic optimization techniques", citing
+the authors' earlier genetic-algorithm work on scheduling heuristics [5].
+This module implements that proposal as a seeded random-search /
+hill-climbing hybrid over :class:`~repro.core.weights.HeuristicConfig`:
+
+1. evaluate the incumbent (default) configuration on a training set;
+2. for each trial, either sample a fresh random configuration or perturb
+   the best-so-far (50/50), evaluate, and keep it if it improves;
+3. return the best configuration and the full trial history.
+
+The objective is the corpus mean of the normalized kernel size (ideal =
+100, lower is better) on a caller-chosen machine.  Everything is
+deterministic given the seed, so tuned results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.core.weights import HeuristicConfig
+from repro.ir.block import Loop
+from repro.machine.machine import MachineDescription
+
+#: tunable fields and their (low, high) sampling ranges
+PARAMETER_SPACE: dict[str, tuple[float, float]] = {
+    "affinity_scale": (0.25, 4.0),
+    "antiaffinity_scale": (0.0, 2.0),
+    "critical_boost": (1.0, 16.0),
+    "depth_base": (1.0, 4.0),
+    "balance_penalty": (0.0, 4.0),
+    "capacity_alpha": (0.0, 1.5),
+}
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated configuration."""
+
+    config: HeuristicConfig
+    objective: float
+    kind: str  # "incumbent" | "random" | "perturb"
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run."""
+
+    best_config: HeuristicConfig
+    best_objective: float
+    incumbent_objective: float
+    history: list[Trial] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Objective points gained over the shipped defaults (>= 0)."""
+        return self.incumbent_objective - self.best_objective
+
+
+def evaluate_config(
+    loops: list[Loop],
+    machine: MachineDescription,
+    config: HeuristicConfig,
+) -> float:
+    """Mean normalized kernel size of ``config`` over ``loops``."""
+    values = []
+    for loop in loops:
+        result = compile_loop(
+            loop, machine, PipelineConfig(heuristic=config, run_regalloc=False)
+        )
+        values.append(result.metrics.normalized_kernel)
+    return statistics.mean(values)
+
+
+def _sample(rng: random.Random) -> HeuristicConfig:
+    kwargs = {
+        name: rng.uniform(lo, hi) for name, (lo, hi) in PARAMETER_SPACE.items()
+    }
+    return HeuristicConfig(**kwargs)
+
+
+def _perturb(rng: random.Random, base: HeuristicConfig) -> HeuristicConfig:
+    """Jitter one or two parameters of ``base`` by up to +-30%."""
+    kwargs = {name: getattr(base, name) for name in PARAMETER_SPACE}
+    for name in rng.sample(sorted(PARAMETER_SPACE), k=rng.randint(1, 2)):
+        lo, hi = PARAMETER_SPACE[name]
+        jittered = kwargs[name] * rng.uniform(0.7, 1.3) + rng.uniform(-0.05, 0.05)
+        kwargs[name] = min(hi, max(lo, jittered))
+    return HeuristicConfig(**kwargs)
+
+
+def tune_heuristic(
+    loops: list[Loop],
+    machine: MachineDescription,
+    n_trials: int = 20,
+    seed: int = 0,
+    incumbent: HeuristicConfig = HeuristicConfig(),
+) -> TuningResult:
+    """Random-search / hill-climb over the heuristic's constants.
+
+    ``loops`` should be a training subset (tuning on the evaluation corpus
+    would be methodologically circular; tests use disjoint seeds).
+    """
+    if n_trials < 1:
+        raise ValueError("need at least one trial")
+    rng = random.Random(seed)
+
+    incumbent_obj = evaluate_config(loops, machine, incumbent)
+    best_config, best_obj = incumbent, incumbent_obj
+    history = [Trial(incumbent, incumbent_obj, "incumbent")]
+
+    for _ in range(n_trials):
+        if rng.random() < 0.5:
+            candidate, kind = _sample(rng), "random"
+        else:
+            candidate, kind = _perturb(rng, best_config), "perturb"
+        objective = evaluate_config(loops, machine, candidate)
+        history.append(Trial(candidate, objective, kind))
+        if objective < best_obj:
+            best_config, best_obj = candidate, objective
+
+    return TuningResult(
+        best_config=best_config,
+        best_objective=best_obj,
+        incumbent_objective=incumbent_obj,
+        history=history,
+    )
+
+
+def describe_config(config: HeuristicConfig) -> str:
+    """One-line rendering of the tunable fields."""
+    parts = [f"{name}={getattr(config, name):.2f}" for name in PARAMETER_SPACE]
+    return ", ".join(parts)

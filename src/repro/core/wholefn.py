@@ -1,0 +1,218 @@
+"""Whole-function partitioning path.
+
+"Our framework and greedy partitioning method are applicable to both
+whole programs and software pipelined loops" (Section 7): the RCG is
+simply accumulated over the ideal schedules of *all* basic blocks (each
+weighted by its nesting depth), partitioned once per function, and every
+block is rescheduled under cluster constraints.  This module provides
+that path; it also reproduces the Section 4.2 worked example, which is
+straight-line code.
+
+Copy placement for acyclic code: a cross-bank read of a value defined in
+the same block gets its copy right after the definition; a value defined
+in another block (or a function live-in) is copied at the top of the
+consuming block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.greedy import Partition, greedy_partition
+from repro.core.rcg import RegisterComponentGraph
+from repro.core.weights import DEFAULT_HEURISTIC, HeuristicConfig, build_rcg_from_linear
+from repro.ddg.builder import build_block_ddg
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.operations import Operation, make_copy
+from repro.ir.registers import RegisterFactory, SymbolicRegister
+from repro.machine.machine import MachineDescription
+from repro.machine.presets import ideal_machine
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.schedule import LinearSchedule
+from repro.sched.validate import validate_linear_schedule
+
+
+@dataclass
+class FunctionCompilation:
+    """Artifacts and metrics of one whole-function compilation."""
+
+    function: Function
+    machine: MachineDescription
+    rcg: RegisterComponentGraph
+    partition: Partition
+    ideal_schedules: dict[str, LinearSchedule]
+    clustered_blocks: dict[str, BasicBlock]
+    clustered_schedules: dict[str, LinearSchedule]
+    n_copies: int
+    n_entry_copies: int
+
+    # ------------------------------------------------------------------
+    def ideal_cycles(self) -> int:
+        """Sum of ideal block schedule lengths (static)."""
+        return sum(s.length for s in self.ideal_schedules.values())
+
+    def clustered_cycles(self) -> int:
+        return sum(s.length for s in self.clustered_schedules.values())
+
+    def weighted_cycles(self, schedules: dict[str, LinearSchedule]) -> float:
+        """Depth-weighted cycle estimate (inner blocks execute ~10x more
+        often per nesting level, the classic static frequency guess)."""
+        total = 0.0
+        for block in self.function.blocks:
+            total += schedules[block.name].length * (10.0 ** block.depth)
+        return total
+
+    @property
+    def degradation_pct(self) -> float:
+        """Depth-weighted slowdown of the clustered code over ideal."""
+        ideal = self.weighted_cycles(self.ideal_schedules)
+        clustered = self.weighted_cycles(self.clustered_schedules)
+        return 100.0 * (clustered - ideal) / ideal
+
+
+def compile_function(
+    fn: Function,
+    machine: MachineDescription,
+    config: HeuristicConfig = DEFAULT_HEURISTIC,
+    precolored: dict[SymbolicRegister, int] | None = None,
+) -> FunctionCompilation:
+    """Run the whole-function pipeline; see module docs."""
+    if not machine.is_clustered:
+        raise ValueError("compile_function targets clustered machines")
+    if not fn.blocks:
+        raise ValueError(f"function {fn.name!r} has no blocks")
+
+    ideal = ideal_machine(width=machine.width, latencies=machine.latencies)
+
+    # step 2: ideal schedule per block, accumulating one function-wide RCG
+    rcg = RegisterComponentGraph()
+    ideal_schedules: dict[str, LinearSchedule] = {}
+    for block in fn.blocks:
+        ddg = build_block_ddg(block, machine.latencies)
+        sched = list_schedule(ddg, ideal)
+        validate_linear_schedule(sched, ddg)
+        ideal_schedules[block.name] = sched
+        build_rcg_from_linear(sched, ddg, depth=block.depth, config=config, rcg=rcg)
+    for reg in fn.registers():
+        rcg.add_node(reg)
+
+    # step 3: one partition for the whole function; per-bank issue capacity
+    # is the cluster's slots across all ideal block schedules
+    total_ideal_cycles = sum(s.length for s in ideal_schedules.values())
+    partition = greedy_partition(
+        rcg,
+        machine.n_clusters,
+        config,
+        precolored=precolored,
+        slots_per_bank=machine.fus_per_cluster * total_ideal_cycles,
+    )
+
+    # step 4: copies + cluster-constrained rescheduling per block
+    rewriter = _FunctionRewriter(fn, partition, machine)
+    clustered_blocks, n_copies, n_entry = rewriter.rewrite()
+    clustered_schedules: dict[str, LinearSchedule] = {}
+    for name, block in clustered_blocks.items():
+        ddg = build_block_ddg(block, machine.latencies)
+        sched = list_schedule(ddg, machine)
+        validate_linear_schedule(sched, ddg)
+        clustered_schedules[name] = sched
+
+    return FunctionCompilation(
+        function=fn,
+        machine=machine,
+        rcg=rcg,
+        partition=partition,
+        ideal_schedules=ideal_schedules,
+        clustered_blocks=clustered_blocks,
+        clustered_schedules=clustered_schedules,
+        n_copies=n_copies,
+        n_entry_copies=n_entry,
+    )
+
+
+class _FunctionRewriter:
+    """Copy insertion over a function's blocks (acyclic semantics)."""
+
+    def __init__(self, fn: Function, partition: Partition, machine: MachineDescription):
+        self.fn = fn
+        self.partition = partition
+        self.machine = machine
+        self.factory = RegisterFactory()
+        #: (rid, cluster) -> copy register, shared function-wide
+        self.copy_regs: dict[tuple[int, int], SymbolicRegister] = {}
+        self.def_block: dict[int, str] = {}
+        for block in fn.blocks:
+            for op in block.ops:
+                if op.dest is not None:
+                    self.def_block[op.dest.rid] = block.name
+
+    def rewrite(self) -> tuple[dict[str, BasicBlock], int, int]:
+        out: dict[str, BasicBlock] = {}
+        n_copies = 0
+        n_entry = 0
+        for block in self.fn.blocks:
+            new_ops, local_copies, entry_copies = self._rewrite_block(block)
+            n_copies += local_copies
+            n_entry += entry_copies
+            out[block.name] = BasicBlock(
+                name=block.name, ops=new_ops, depth=block.depth
+            )
+        return out, n_copies, n_entry
+
+    def _copy_reg_for(self, src: SymbolicRegister, cluster: int) -> tuple[SymbolicRegister, bool]:
+        key = (src.rid, cluster)
+        existing = self.copy_regs.get(key)
+        if existing is not None:
+            return existing, False
+        reg = self.factory.new(src.dtype, name=f"{src.name}.c{cluster}")
+        self.partition.assign(reg, cluster)
+        self.copy_regs[key] = reg
+        return reg, True
+
+    def _home_cluster(self, op: Operation) -> int:
+        if op.dest is not None:
+            return self.partition.bank_of(op.dest)
+        for s in op.sources:
+            if isinstance(s, SymbolicRegister):
+                return self.partition.bank_of(s)
+        return 0
+
+    def _rewrite_block(self, block: BasicBlock) -> tuple[list[Operation], int, int]:
+        clones = [op.clone() for op in block.ops]
+        for op in clones:
+            op.cluster = self._home_cluster(op)
+
+        local_defs = {
+            op.dest.rid: i for i, op in enumerate(clones) if op.dest is not None
+        }
+        prologue: list[Operation] = []
+        after_def: dict[int, list[Operation]] = {}
+        n_local = 0
+        n_entry = 0
+
+        for op in clones:
+            new_sources = list(op.sources)
+            for i, src in enumerate(new_sources):
+                if not isinstance(src, SymbolicRegister):
+                    continue
+                if self.partition.bank_of(src) == op.cluster:
+                    continue
+                copy_reg, fresh = self._copy_reg_for(src, op.cluster)
+                new_sources[i] = copy_reg
+                if not fresh:
+                    continue
+                cp = make_copy(copy_reg, src, cluster=op.cluster)
+                if src.rid in local_defs:
+                    after_def.setdefault(local_defs[src.rid], []).append(cp)
+                    n_local += 1
+                else:
+                    prologue.append(cp)
+                    n_entry += 1
+            op.sources = tuple(new_sources)
+
+        body: list[Operation] = list(prologue)
+        for idx, op in enumerate(clones):
+            body.append(op)
+            body.extend(after_def.get(idx, ()))
+        return body, n_local + n_entry, n_entry

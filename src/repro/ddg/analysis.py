@@ -1,0 +1,275 @@
+"""DDG analyses: II lower bounds, criticality, slack.
+
+``MinII = max(ResII, RecII)`` (Section 2).  ``ResII`` counts issue-slot
+demand against the machine's per-cycle resources; ``RecII`` is the
+recurrence bound ``max over cycles C of ceil(delay(C) / distance(C))``,
+computed here by a monotone feasibility search: II is feasible w.r.t.
+recurrences iff the edge-weighting ``delay - II * distance`` admits no
+positive-weight cycle.
+
+The module also provides the *Flexibility* quantity of Section 5 — the
+slack between an operation's earliest and latest position inside a given
+ideal schedule — and height-based priorities for the schedulers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Mapping
+
+from repro.ddg.graph import DDG
+from repro.ir.operations import Operation
+from repro.machine.machine import CopyModel, MachineDescription
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.latency import LatencyTable
+
+
+# ----------------------------------------------------------------------
+# Resource bound
+# ----------------------------------------------------------------------
+def resource_ii(ddg: DDG, machine: MachineDescription) -> int:
+    """Minimum II imposed by issue resources.
+
+    For the monolithic machine (and for clustered machines before
+    operations are pinned) every operation competes for the machine's
+    ``width`` slots.  Once operations carry cluster assignments, demand is
+    counted per cluster, and copies are charged to FU slots (embedded
+    model) or to copy ports and buses (copy-unit model).
+    """
+    if len(ddg) == 0:
+        return 1
+    unassigned = sum(1 for op in ddg.ops if op.cluster is None)
+    if unassigned == len(ddg.ops) or not machine.is_clustered:
+        return max(1, math.ceil(len(ddg.ops) / machine.width))
+
+    fu_demand = [0] * machine.n_clusters
+    copy_port_demand = [0] * machine.n_clusters
+    total_copies = 0
+    for op in ddg.ops:
+        cluster = op.cluster if op.cluster is not None else 0
+        machine.validate_cluster(cluster)
+        if op.is_copy and machine.copy_model is CopyModel.COPY_UNIT:
+            copy_port_demand[cluster] += 1
+            total_copies += 1
+        else:
+            fu_demand[cluster] += 1
+
+    bounds = [math.ceil(d / machine.fus_per_cluster) for d in fu_demand]
+    if machine.copy_model is CopyModel.COPY_UNIT:
+        bounds.extend(
+            math.ceil(d / machine.copy_ports_per_cluster) for d in copy_port_demand
+        )
+        if machine.n_buses:
+            bounds.append(math.ceil(total_copies / machine.n_buses))
+    return max(1, *bounds)
+
+
+# ----------------------------------------------------------------------
+# Recurrence bound
+# ----------------------------------------------------------------------
+def _has_positive_cycle(ddg: DDG, ii: int) -> bool:
+    """Bellman-Ford-style longest-path relaxation on edge weights
+    ``delay - ii * distance``; a relaxation still possible after |V|
+    rounds witnesses a positive cycle."""
+    n = len(ddg)
+    if n == 0:
+        return False
+    dist = {op.op_id: 0 for op in ddg.ops}
+    edges = [
+        (e.src.op_id, e.dst.op_id, e.delay - ii * e.distance) for e in ddg.edges()
+    ]
+    for _ in range(n):
+        changed = False
+        for u, v, w in edges:
+            cand = dist[u] + w
+            if cand > dist[v]:
+                dist[v] = cand
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def recurrence_ii(ddg: DDG) -> int:
+    """Smallest integer II satisfying every dependence recurrence.
+
+    Returns 1 for recurrence-free graphs.  The search space is bounded by
+    the sum of all edge delays (a single cycle cannot demand more than the
+    total delay in the graph per unit distance).
+    """
+    if len(ddg) == 0 or ddg.n_edges == 0:
+        return 1
+    hi = max(1, sum(e.delay for e in ddg.edges()))
+    lo = 1
+    # tighten the lower bound with self-edges, which are common (accumulators)
+    for e in ddg.edges():
+        if e.src.op_id == e.dst.op_id and e.distance > 0:
+            lo = max(lo, math.ceil(e.delay / e.distance))
+    if _has_positive_cycle(ddg, hi):
+        raise ValueError("DDG has a positive cycle at maximal II; zero-distance cycle?")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(ddg, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def critical_cycle_ratio(ddg: DDG, tolerance: float = 1e-6) -> float:
+    """The maximum cycle ratio ``delay(C)/distance(C)`` as a real number
+    (``0.0`` for acyclic graphs).  ``recurrence_ii`` is its ceiling; the
+    real-valued version is reported by the evaluation harness to show how
+    tight recurrence constraints are."""
+    if len(ddg) == 0 or ddg.n_edges == 0:
+        return 0.0
+    if not _has_positive_cycle_real(ddg, 0.0):
+        return 0.0
+    lo, hi = 0.0, float(max(1, sum(e.delay for e in ddg.edges())))
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if _has_positive_cycle_real(ddg, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def _has_positive_cycle_real(ddg: DDG, ii: float) -> bool:
+    n = len(ddg)
+    dist = {op.op_id: 0.0 for op in ddg.ops}
+    edges = [
+        (e.src.op_id, e.dst.op_id, e.delay - ii * e.distance) for e in ddg.edges()
+    ]
+    eps = 1e-9
+    for _ in range(n):
+        changed = False
+        for u, v, w in edges:
+            cand = dist[u] + w
+            if cand > dist[v] + eps:
+                dist[v] = cand
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def min_ii(ddg: DDG, machine: MachineDescription) -> int:
+    """``MinII = max(ResII, RecII)``."""
+    return max(resource_ii(ddg, machine), recurrence_ii(ddg))
+
+
+def critical_cycle(ddg: DDG) -> list[Operation]:
+    """Operations on a recurrence cycle achieving RecII (empty if none).
+
+    Found by hunting a positive-weight cycle at ``RecII - 1`` with parent
+    tracking: any cycle still positive one notch below the feasible II is
+    (one of) the binding recurrence(s).  Used by the diagnosis tooling to
+    explain *why* a partitioned loop degraded — e.g. an inter-cluster
+    copy inserted on exactly these operations.
+    """
+    rec = recurrence_ii(ddg)
+    if rec <= 1:
+        return []
+    ii = rec - 1
+    dist = {op.op_id: 0 for op in ddg.ops}
+    parent: dict[int, int] = {}
+    edges = [(e.src.op_id, e.dst.op_id, e.delay - ii * e.distance) for e in ddg.edges()]
+    last_updated: int | None = None
+    for _ in range(len(ddg.ops)):
+        last_updated = None
+        for u, v, w in edges:
+            if dist[u] + w > dist[v]:
+                dist[v] = dist[u] + w
+                parent[v] = u
+                last_updated = v
+        if last_updated is None:
+            break
+    if last_updated is None:  # pragma: no cover - rec > 1 guarantees a cycle
+        return []
+    # walk back n steps to land inside the cycle, then peel it off
+    node = last_updated
+    for _ in range(len(ddg.ops)):
+        node = parent[node]
+    cycle_ids = [node]
+    cur = parent[node]
+    while cur != node:
+        cycle_ids.append(cur)
+        cur = parent[cur]
+    cycle_ids.reverse()
+    by_id = {op.op_id: op for op in ddg.ops}
+    return [by_id[oid] for oid in cycle_ids]
+
+
+# ----------------------------------------------------------------------
+# Heights and slack
+# ----------------------------------------------------------------------
+def longest_path_heights(ddg: DDG, ii: int = 0) -> dict[int, int]:
+    """Height-based scheduling priority (Rau's HeightR).
+
+    ``height(op) = max(0, max over successors (height(succ) + delay
+    - ii * distance))``, computed as a fixpoint; with ``ii`` at least
+    RecII there are no positive cycles, so the iteration converges in at
+    most |V| rounds.  With ``ii = 0`` and loop-carried edges present the
+    fixpoint may not exist; callers pass the candidate II (or use the
+    distance-0 subgraph via ``ii`` large enough, which zeroes carried
+    contributions naturally).
+    """
+    height = {op.op_id: 0 for op in ddg.ops}
+    edges = list(ddg.edges())
+    for round_no in range(len(ddg.ops) + 1):
+        changed = False
+        for e in edges:
+            cand = height[e.dst.op_id] + e.delay - ii * e.distance
+            if cand > height[e.src.op_id]:
+                height[e.src.op_id] = cand
+                changed = True
+        if not changed:
+            return height
+    raise ValueError(f"heights diverge at ii={ii}: positive cycle present")
+
+
+def estart_lstart(
+    ddg: DDG,
+    times: Mapping[int, int],
+    length: int,
+    latencies: "LatencyTable | None" = None,
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Earliest/latest start of each op *within a given schedule*.
+
+    ``times`` maps op_id to its scheduled issue cycle, ``length`` is the
+    schedule length including trailing latency.  Only same-iteration
+    (distance-0) edges constrain position inside one schedule instance,
+    mirroring the paper's description of slack "without requiring a
+    lengthening of the ideal schedule"; an op's own latency bounds how
+    late it can issue without pushing the schedule end out.
+    """
+    estart: dict[int, int] = {}
+    lstart: dict[int, int] = {}
+    for op in ddg.ops:
+        e = 0
+        for dep in ddg.predecessors(op):
+            if dep.distance == 0:
+                e = max(e, times[dep.src.op_id] + dep.delay)
+        estart[op.op_id] = e
+        own_latency = latencies.of(op) if latencies is not None else 1
+        latest = length - own_latency
+        for dep in ddg.successors(op):
+            if dep.distance == 0:
+                latest = min(latest, times[dep.dst.op_id] - dep.delay)
+        lstart[op.op_id] = max(latest, e)
+    return estart, lstart
+
+
+def schedule_slack(
+    ddg: DDG,
+    times: Mapping[int, int],
+    length: int,
+    latencies: "LatencyTable | None" = None,
+) -> dict[int, int]:
+    """Per-operation slack = lstart - estart (>= 0); the paper's
+    *Flexibility* is ``slack + 1`` ("we add 1 ... so that we avoid
+    divide-by-zero errors")."""
+    estart, lstart = estart_lstart(ddg, times, length, latencies)
+    return {oid: lstart[oid] - estart[oid] for oid in estart}

@@ -1,0 +1,71 @@
+"""Dependence edges.
+
+Each edge constrains the modulo schedule: for a dependence ``src -> dst``
+with delay ``d`` and iteration distance ``k``,
+
+    time(dst) >= time(src) + d - k * II.
+
+Register edges are flow (true) dependences only — loop bodies are
+single-assignment per iteration, so register anti/output hazards are a
+register-allocation concern (handled by modulo variable expansion in
+:mod:`repro.regalloc.mve`), exactly as in Rau's formulation.  Memory edges
+carry all three kinds, with distances derived from the symbolic array
+references.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ir.operations import Operation
+from repro.ir.registers import SymbolicRegister
+
+
+class DepKind(enum.Enum):
+    FLOW = "flow"            # register true dependence
+    MEM_FLOW = "mem_flow"    # store -> load, same location
+    MEM_ANTI = "mem_anti"    # load -> store, same location
+    MEM_OUTPUT = "mem_out"   # store -> store, same location
+
+    @property
+    def is_memory(self) -> bool:
+        return self is not DepKind.FLOW
+
+
+@dataclass(frozen=True, slots=True)
+class Dependence:
+    """One DDG edge.
+
+    ``delay`` is the minimum issue-cycle separation (source latency for
+    flow edges, 1 for memory ordering edges), ``distance`` the number of
+    iterations the dependence spans (0 = same iteration).  ``reg`` records
+    the register a flow edge carries, for diagnostics and for the copy
+    inserter.
+    """
+
+    src: Operation
+    dst: Operation
+    kind: DepKind
+    delay: int
+    distance: int = 0
+    reg: SymbolicRegister | None = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("dependence delay must be non-negative")
+        if self.distance < 0:
+            raise ValueError("dependence distance must be non-negative")
+        if self.kind is DepKind.FLOW and self.reg is None:
+            raise ValueError("register flow dependences must name their register")
+
+    @property
+    def is_loop_carried(self) -> bool:
+        return self.distance > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f"[{self.reg}]" if self.reg is not None else ""
+        return (
+            f"<dep {self.kind.value}{tag} op#{self.src.op_id}->op#{self.dst.op_id} "
+            f"delay={self.delay} dist={self.distance}>"
+        )

@@ -1,0 +1,129 @@
+"""The DDG container.
+
+A thin, explicit graph structure: operations are nodes (by identity),
+:class:`~repro.ddg.dependence.Dependence` objects are edges, and adjacency
+is indexed both ways.  Kept independent of networkx so scheduling inner
+loops stay allocation-light; the analysis module converts to matrix form
+where convenient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.ddg.dependence import Dependence, DepKind
+from repro.ir.operations import Operation
+
+
+@dataclass
+class DDG:
+    """Data dependence graph over a fixed operation list."""
+
+    ops: list[Operation]
+    _succs: dict[int, list[Dependence]] = field(default_factory=dict)
+    _preds: dict[int, list[Dependence]] = field(default_factory=dict)
+    _index: dict[int, int] = field(default_factory=dict)
+    _edge_keys: set[tuple[int, int, DepKind, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._index = {op.op_id: i for i, op in enumerate(self.ops)}
+        if len(self._index) != len(self.ops):
+            raise ValueError("duplicate operations in DDG")
+        for op in self.ops:
+            self._succs.setdefault(op.op_id, [])
+            self._preds.setdefault(op.op_id, [])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __contains__(self, op: Operation) -> bool:
+        return op.op_id in self._index
+
+    def index_of(self, op: Operation) -> int:
+        return self._index[op.op_id]
+
+    def add_edge(self, dep: Dependence) -> Dependence | None:
+        """Insert ``dep``; duplicate (src, dst, kind, distance) edges are
+        coalesced by keeping the larger delay.  Returns the edge actually
+        stored (``None`` if an existing edge subsumed it)."""
+        if dep.src.op_id not in self._index or dep.dst.op_id not in self._index:
+            raise ValueError("dependence endpoints must be DDG operations")
+        key = (dep.src.op_id, dep.dst.op_id, dep.kind, dep.distance)
+        if key in self._edge_keys:
+            for i, existing in enumerate(self._succs[dep.src.op_id]):
+                if (
+                    existing.dst.op_id == dep.dst.op_id
+                    and existing.kind == dep.kind
+                    and existing.distance == dep.distance
+                ):
+                    if dep.delay > existing.delay:
+                        self._succs[dep.src.op_id][i] = dep
+                        preds = self._preds[dep.dst.op_id]
+                        for j, e in enumerate(preds):
+                            if e is existing:
+                                preds[j] = dep
+                                break
+                        return dep
+                    return None
+            return None
+        self._edge_keys.add(key)
+        self._succs[dep.src.op_id].append(dep)
+        self._preds[dep.dst.op_id].append(dep)
+        return dep
+
+    def successors(self, op: Operation) -> list[Dependence]:
+        return self._succs[op.op_id]
+
+    def predecessors(self, op: Operation) -> list[Dependence]:
+        return self._preds[op.op_id]
+
+    def edges(self) -> Iterator[Dependence]:
+        for deps in self._succs.values():
+            yield from deps
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self._succs.values())
+
+    def loop_carried_edges(self) -> list[Dependence]:
+        return [e for e in self.edges() if e.is_loop_carried]
+
+    def intra_iteration_edges(self) -> list[Dependence]:
+        return [e for e in self.edges() if not e.is_loop_carried]
+
+    # ------------------------------------------------------------------
+    def verify_acyclic_at_distance_zero(self) -> None:
+        """Check that distance-0 edges form a DAG (a well-formed loop body
+        cannot require a value before it is produced within the same
+        iteration).  Raises ``ValueError`` otherwise."""
+        self.topological_order()
+
+    def topological_order(self) -> list[Operation]:
+        """Topological order of the distance-0 subgraph."""
+        indeg = {op.op_id: 0 for op in self.ops}
+        for e in self.intra_iteration_edges():
+            indeg[e.dst.op_id] += 1
+        ready = [op for op in self.ops if indeg[op.op_id] == 0]
+        order: list[Operation] = []
+        while ready:
+            op = ready.pop()
+            order.append(op)
+            for e in self._succs[op.op_id]:
+                if e.distance == 0:
+                    indeg[e.dst.op_id] -= 1
+                    if indeg[e.dst.op_id] == 0:
+                        ready.append(e.dst)
+        if len(order) != len(self.ops):
+            raise ValueError("distance-0 dependence cycle: loop body is malformed")
+        return order
+
+    def subgraph_view(self, keep: Iterable[Operation]) -> "DDG":
+        """A new DDG over ``keep`` with the induced edges (used by tests)."""
+        keep_ids = {op.op_id for op in keep}
+        g = DDG(ops=[op for op in self.ops if op.op_id in keep_ids])
+        for e in self.edges():
+            if e.src.op_id in keep_ids and e.dst.op_id in keep_ids:
+                g.add_edge(e)
+        return g

@@ -1,0 +1,40 @@
+"""Evaluation harness: regenerates every table and figure of Section 6.
+
+* :mod:`repro.evalx.metrics` -- means and histogram math,
+* :mod:`repro.evalx.runner` -- runs the corpus across the six machine
+  configurations,
+* :mod:`repro.evalx.table1` -- Table 1 (IPC of clustered pipelines),
+* :mod:`repro.evalx.table2` -- Table 2 (normalized degradation),
+* :mod:`repro.evalx.figures` -- Figures 5-7 (degradation histograms),
+* :mod:`repro.evalx.report` -- renders the whole evaluation as text.
+"""
+
+from repro.evalx.metrics import arithmetic_mean, harmonic_mean, bucket_histogram
+from repro.evalx.runner import EvalRun, PAPER_CONFIG_ORDER, run_evaluation
+from repro.evalx.table1 import Table1, compute_table1
+from repro.evalx.table2 import Table2, compute_table2
+from repro.evalx.figures import DegradationHistogram, compute_figure
+from repro.evalx.report import render_full_report
+from repro.evalx.diagnose import DegradationCause, Diagnosis, diagnose
+from repro.evalx.export import run_to_csv, run_to_json
+
+__all__ = [
+    "arithmetic_mean",
+    "harmonic_mean",
+    "bucket_histogram",
+    "EvalRun",
+    "PAPER_CONFIG_ORDER",
+    "run_evaluation",
+    "Table1",
+    "compute_table1",
+    "Table2",
+    "compute_table2",
+    "DegradationHistogram",
+    "compute_figure",
+    "render_full_report",
+    "DegradationCause",
+    "Diagnosis",
+    "diagnose",
+    "run_to_csv",
+    "run_to_json",
+]

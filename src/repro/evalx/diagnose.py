@@ -1,0 +1,98 @@
+"""Per-loop degradation diagnosis.
+
+Explains *why* a partitioned loop's II grew, in the vocabulary the paper
+uses when discussing Nystrom and Eichenberger (Section 6.3): either a
+copy landed on a critical recurrence and lengthened it, or the inserted
+copies (embedded model) / copy ports and buses (copy-unit model)
+oversubscribed some cluster's issue resources.  Used by the ``diagnose``
+CLI subcommand and by the corpus analysis in the tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import CompilationResult
+from repro.ddg.analysis import critical_cycle, recurrence_ii, resource_ii
+
+
+class DegradationCause(enum.Enum):
+    """Primary cause of a loop's II growth after partitioning."""
+
+    NONE = "none"                      # zero degradation
+    RECURRENCE = "recurrence"          # copies lengthened a dependence cycle
+    RESOURCES = "resources"            # some cluster's issue slots overflowed
+    SCHEDULER = "scheduler"            # MinII unchanged; heuristic placement loss
+
+
+@dataclass
+class Diagnosis:
+    """Structured explanation for one compilation result."""
+
+    cause: DegradationCause
+    ideal_ii: int
+    partitioned_ii: int
+    partitioned_rec_ii: int
+    partitioned_res_ii: int
+    copies_on_critical_cycle: list[str] = field(default_factory=list)
+    cluster_loads: list[int] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            f"cause: {self.cause.value}",
+            f"II: {self.ideal_ii} -> {self.partitioned_ii} "
+            f"(partitioned RecII {self.partitioned_rec_ii}, "
+            f"ResII {self.partitioned_res_ii})",
+        ]
+        if self.copies_on_critical_cycle:
+            lines.append(
+                "copies on the binding recurrence: "
+                + ", ".join(self.copies_on_critical_cycle)
+            )
+        if self.cluster_loads:
+            lines.append(
+                "per-cluster op counts: "
+                + " ".join(f"c{i}={n}" for i, n in enumerate(self.cluster_loads))
+            )
+        return "\n".join(lines)
+
+
+def diagnose(result: CompilationResult) -> Diagnosis:
+    """Classify the degradation of ``result``."""
+    m = result.metrics
+    pddg = result.partitioned_ddg
+    rec = recurrence_ii(pddg)
+    res = resource_ii(pddg, result.machine)
+
+    loads = [0] * result.machine.n_clusters
+    for op in result.partitioned.loop.ops:
+        loads[op.cluster if op.cluster is not None else 0] += 1
+
+    copies_on_cycle: list[str] = []
+    if rec > m.ideal_rec_ii:
+        cycle_ids = {op.op_id for op in critical_cycle(pddg)}
+        for op in result.partitioned.loop.ops:
+            if op.is_copy and op.op_id in cycle_ids:
+                from repro.ir.printer import format_operation
+
+                copies_on_cycle.append(format_operation(op))
+
+    if m.zero_degradation:
+        cause = DegradationCause.NONE
+    elif rec > m.ideal_ii and rec >= res:
+        cause = DegradationCause.RECURRENCE
+    elif res > m.ideal_ii:
+        cause = DegradationCause.RESOURCES
+    else:
+        cause = DegradationCause.SCHEDULER
+
+    return Diagnosis(
+        cause=cause,
+        ideal_ii=m.ideal_ii,
+        partitioned_ii=m.partitioned_ii,
+        partitioned_rec_ii=rec,
+        partitioned_res_ii=res,
+        copies_on_critical_cycle=copies_on_cycle,
+        cluster_loads=loads,
+    )

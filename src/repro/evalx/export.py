@@ -1,0 +1,106 @@
+"""Machine-readable export of evaluation results.
+
+``EvalRun`` objects serialize to JSON (full structure) and per-loop CSV
+(one row per loop x configuration), so downstream analysis — plotting,
+regression tracking across commits, statistical tests — never has to
+re-run the compiler.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.core.results import LoopMetrics
+from repro.evalx.figures import compute_figure
+from repro.evalx.runner import EvalRun
+from repro.evalx.table1 import compute_table1
+from repro.evalx.table2 import compute_table2
+
+CSV_FIELDS = [
+    "config",
+    "loop",
+    "n_ops",
+    "ideal_ii",
+    "ideal_rec_ii",
+    "ideal_res_ii",
+    "ideal_ipc",
+    "partitioned_ii",
+    "partitioned_ipc",
+    "n_body_copies",
+    "n_preheader_copies",
+    "normalized_kernel",
+    "degradation_pct",
+    "bucket",
+]
+
+
+def metrics_to_row(label: str, m: LoopMetrics) -> dict:
+    return {
+        "config": label,
+        "loop": m.loop_name,
+        "n_ops": m.n_ops,
+        "ideal_ii": m.ideal_ii,
+        "ideal_rec_ii": m.ideal_rec_ii,
+        "ideal_res_ii": m.ideal_res_ii,
+        "ideal_ipc": round(m.ideal_ipc, 4),
+        "partitioned_ii": m.partitioned_ii,
+        "partitioned_ipc": round(m.partitioned_ipc, 4),
+        "n_body_copies": m.n_body_copies,
+        "n_preheader_copies": m.n_preheader_copies,
+        "normalized_kernel": round(m.normalized_kernel, 2),
+        "degradation_pct": round(m.degradation_pct, 2),
+        "bucket": m.bucket,
+    }
+
+
+def run_to_csv(run: EvalRun) -> str:
+    """Per-loop CSV of every configuration in the run."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for label, metrics in run.per_config.items():
+        for m in metrics:
+            writer.writerow(metrics_to_row(label, m))
+    return buf.getvalue()
+
+
+def run_to_json(run: EvalRun) -> str:
+    """Aggregates + per-loop rows as one JSON document."""
+    t1 = compute_table1(run)
+    t2 = compute_table2(run)
+
+    def key_str(key):  # (n_clusters, CopyModel) -> "2/embedded"
+        n, model = key
+        return f"{n}/{model.value}"
+
+    doc = {
+        "table1": {
+            "ideal_ipc": t1.ideal_ipc,
+            "clustered_ipc": {key_str(k): v for k, v in t1.clustered_ipc.items()},
+        },
+        "table2": {
+            "arithmetic": {key_str(k): v for k, v in t2.arith.items()},
+            "harmonic": {key_str(k): v for k, v in t2.harmonic.items()},
+        },
+        "figures": {},
+        "loops": {
+            label: [metrics_to_row(label, m) for m in metrics]
+            for label, metrics in run.per_config.items()
+        },
+        "elapsed_seconds": run.elapsed_seconds,
+        "failures": run.failures,
+    }
+    for n in (2, 4, 8):
+        try:
+            fig = compute_figure(run, n)
+        except KeyError:
+            continue
+        doc["figures"][str(n)] = {
+            "embedded": fig.embedded,
+            "copy_unit": fig.copy_unit,
+            "embedded_zero": fig.embedded_zero,
+            "copy_unit_zero": fig.copy_unit_zero,
+        }
+    return json.dumps(doc, indent=2, sort_keys=True)

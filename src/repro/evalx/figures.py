@@ -1,0 +1,80 @@
+"""Figures 5-7 — degradation histograms per cluster count.
+
+Each figure plots, for one cluster count, the percentage of the 211 loops
+falling into each degradation bucket (0.00%, <10%, ..., >90%) for both
+the embedded and copy-unit models.  The headline reading: "roughly 60% of
+the [2-cluster] loops required no degradation.  The 4-cluster model
+scheduled about 50% of the loops ... with no degradation and the
+8-cluster about 40%" (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import DEGRADATION_BUCKETS
+from repro.evalx.metrics import bucket_histogram, percent_zero_degradation
+from repro.evalx.runner import EvalRun, config_label
+from repro.machine.machine import CopyModel
+
+#: paper's approximate zero-degradation shares per cluster count
+PAPER_ZERO_DEGRADATION: dict[int, float] = {2: 60.0, 4: 50.0, 8: 40.0}
+
+FIGURE_NUMBER: dict[int, int] = {2: 5, 4: 6, 8: 7}
+
+
+@dataclass
+class DegradationHistogram:
+    """One figure: bucket percentages for both copy models."""
+
+    n_clusters: int
+    embedded: dict[str, float]
+    copy_unit: dict[str, float]
+    embedded_zero: float
+    copy_unit_zero: float
+
+    @property
+    def figure_number(self) -> int:
+        return FIGURE_NUMBER[self.n_clusters]
+
+    @property
+    def zero_degradation_pct(self) -> float:
+        """Average of the two models' zero-degradation shares (the figures
+        show both bars at similar height for the 0.00% bucket)."""
+        return (self.embedded_zero + self.copy_unit_zero) / 2.0
+
+    def format(self, width: int = 40) -> str:
+        fus = 16 // self.n_clusters
+        lines = [
+            f"Figure {self.figure_number}. Achieved II on {self.n_clusters} "
+            f"Clusters with {fus} Units Each "
+            f"(paper: ~{PAPER_ZERO_DEGRADATION[self.n_clusters]:.0f}% at 0.00%)"
+        ]
+        peak = max(
+            max(self.embedded.values(), default=1.0),
+            max(self.copy_unit.values(), default=1.0),
+            1.0,
+        )
+        for label in DEGRADATION_BUCKETS:
+            e = self.embedded.get(label, 0.0)
+            c = self.copy_unit.get(label, 0.0)
+            bar_e = "#" * round(width * e / peak)
+            bar_c = "=" * round(width * c / peak)
+            lines.append(f"  {label:>6}  emb {e:5.1f}% |{bar_e}")
+            lines.append(f"          cu  {c:5.1f}% |{bar_c}")
+        return "\n".join(lines)
+
+
+def compute_figure(run: EvalRun, n_clusters: int) -> DegradationHistogram:
+    """Build the Figure-5/6/7 histogram for ``n_clusters``."""
+    if n_clusters not in FIGURE_NUMBER:
+        raise ValueError(f"the paper has no histogram for {n_clusters} clusters")
+    emb = run.per_config[config_label(n_clusters, CopyModel.EMBEDDED)]
+    cu = run.per_config[config_label(n_clusters, CopyModel.COPY_UNIT)]
+    return DegradationHistogram(
+        n_clusters=n_clusters,
+        embedded=bucket_histogram(emb),
+        copy_unit=bucket_histogram(cu),
+        embedded_zero=percent_zero_degradation(emb),
+        copy_unit_zero=percent_zero_degradation(cu),
+    )

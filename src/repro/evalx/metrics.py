@@ -1,0 +1,53 @@
+"""Aggregation math for the evaluation tables and figures.
+
+The paper reports both arithmetic and harmonic means of normalized kernel
+sizes "since the arithmetic mean tends to be weighted towards large
+numbers, while the harmonic mean permits more contribution by smaller
+values" (Section 6.2), and buckets per-loop degradation into 10-point
+histogram bins for Figures 5-7.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.core.results import DEGRADATION_BUCKETS, LoopMetrics
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def bucket_histogram(metrics: Iterable[LoopMetrics]) -> dict[str, float]:
+    """Percentage of loops in each Figure 5-7 degradation bucket.
+
+    Returns every bucket label (including empty ones) so rendered
+    histograms always have the full axis; values sum to 100 (up to
+    rounding)."""
+    counts: Counter[str] = Counter()
+    total = 0
+    for m in metrics:
+        counts[m.bucket] += 1
+        total += 1
+    if total == 0:
+        raise ValueError("no metrics to bucket")
+    return {label: 100.0 * counts.get(label, 0) / total for label in DEGRADATION_BUCKETS}
+
+
+def percent_zero_degradation(metrics: Sequence[LoopMetrics]) -> float:
+    """Share of loops whose II did not grow — the Nystrom/Eichenberger
+    comparison number of Section 6.3."""
+    if not metrics:
+        raise ValueError("no metrics")
+    return 100.0 * sum(1 for m in metrics if m.zero_degradation) / len(metrics)

@@ -1,0 +1,49 @@
+"""Full-evaluation text report.
+
+Renders everything Section 6 reports — Table 1, Table 2, Figures 5-7 and
+the Nystrom/Eichenberger comparison points — from one :class:`EvalRun`,
+with the paper's published values inline for comparison.  The benchmark
+harness prints this, and EXPERIMENTS.md is generated from it.
+"""
+
+from __future__ import annotations
+
+from repro.evalx.figures import PAPER_ZERO_DEGRADATION, compute_figure
+from repro.evalx.runner import EvalRun
+from repro.evalx.table1 import compute_table1
+from repro.evalx.table2 import compute_table2
+
+
+def render_full_report(run: EvalRun, corpus_note: str = "") -> str:
+    t1 = compute_table1(run)
+    t2 = compute_table2(run)
+    parts = [
+        "=" * 78,
+        "Reproduction of: Register Assignment for Software Pipelining with",
+        "Partitioned Register Banks (Hiser, Carr, Sweany, Beaty; IPPS 2000)",
+        "=" * 78,
+    ]
+    if corpus_note:
+        parts.append(corpus_note)
+    n_loops = len(next(iter(run.per_config.values())))
+    parts.append(
+        f"corpus: {n_loops} loops; evaluation wall time "
+        f"{run.elapsed_seconds:.1f}s; failures: {len(run.failures)}"
+    )
+    parts.append("")
+    parts.append(t1.format())
+    parts.append("")
+    parts.append(t2.format())
+    for n_clusters in (2, 4, 8):
+        parts.append("")
+        parts.append(compute_figure(run, n_clusters).format())
+    parts.append("")
+    parts.append("Zero-degradation summary (Section 6.3 comparison):")
+    for n_clusters in (2, 4, 8):
+        fig = compute_figure(run, n_clusters)
+        parts.append(
+            f"  {n_clusters} clusters: embedded {fig.embedded_zero:.1f}% / "
+            f"copy-unit {fig.copy_unit_zero:.1f}% of loops at 0% degradation "
+            f"(paper: ~{PAPER_ZERO_DEGRADATION[n_clusters]:.0f}%)"
+        )
+    return "\n".join(parts)

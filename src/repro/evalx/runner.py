@@ -1,0 +1,89 @@
+"""Corpus evaluation runner.
+
+Compiles every corpus loop for each of the paper's six clustered
+configurations (2/4/8 clusters x embedded/copy-unit) and collects
+:class:`~repro.core.results.LoopMetrics` per configuration.  Table,
+figure and report modules consume the resulting :class:`EvalRun`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.core.results import LoopMetrics
+from repro.ir.block import Loop
+from repro.machine.machine import CopyModel, MachineDescription
+from repro.machine.presets import paper_machine
+from repro.workloads.corpus import spec95_corpus
+
+#: the paper's column order: (clusters, copy model) pairs of Tables 1-2
+PAPER_CONFIG_ORDER: tuple[tuple[int, CopyModel], ...] = (
+    (2, CopyModel.EMBEDDED),
+    (2, CopyModel.COPY_UNIT),
+    (4, CopyModel.EMBEDDED),
+    (4, CopyModel.COPY_UNIT),
+    (8, CopyModel.EMBEDDED),
+    (8, CopyModel.COPY_UNIT),
+)
+
+
+def config_label(n_clusters: int, model: CopyModel) -> str:
+    kind = "Embedded" if model is CopyModel.EMBEDDED else "Copy Unit"
+    return f"{n_clusters} Clusters / {kind}"
+
+
+@dataclass
+class EvalRun:
+    """Metrics for every (loop, configuration) pair of one evaluation."""
+
+    machines: dict[str, MachineDescription] = field(default_factory=dict)
+    per_config: dict[str, list[LoopMetrics]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def config_labels(self) -> list[str]:
+        return [config_label(n, m) for n, m in PAPER_CONFIG_ORDER if config_label(n, m) in self.per_config]
+
+    def metrics_for(self, n_clusters: int, model: CopyModel) -> list[LoopMetrics]:
+        return self.per_config[config_label(n_clusters, model)]
+
+
+def run_evaluation(
+    loops: list[Loop] | None = None,
+    config: PipelineConfig | None = None,
+    configs: tuple[tuple[int, CopyModel], ...] = PAPER_CONFIG_ORDER,
+    progress: bool = False,
+) -> EvalRun:
+    """Run the corpus through the pipeline for each configuration.
+
+    A loop that fails to compile for some configuration is recorded in
+    ``failures`` and excluded from that configuration's metrics — with the
+    shipped corpus there are none, and the test suite asserts that.
+    """
+    loops = loops if loops is not None else spec95_corpus()
+    pipeline_config = config if config is not None else PipelineConfig(run_regalloc=False)
+
+    run = EvalRun()
+    t0 = time.time()
+    for n_clusters, model in configs:
+        label = config_label(n_clusters, model)
+        machine = paper_machine(n_clusters, model)
+        run.machines[label] = machine
+        metrics: list[LoopMetrics] = []
+        for i, loop in enumerate(loops):
+            try:
+                result = compile_loop(loop, machine, pipeline_config)
+            except Exception as exc:  # pragma: no cover - corpus is clean
+                run.failures.append((label, loop.name, repr(exc)))
+                continue
+            metrics.append(result.metrics)
+            if progress and (i + 1) % 50 == 0:
+                print(f"  [{label}] {i + 1}/{len(loops)}", file=sys.stderr)
+        run.per_config[label] = metrics
+        if progress:
+            print(f"[{label}] done: {len(metrics)} loops", file=sys.stderr)
+    run.elapsed_seconds = time.time() - t0
+    return run

@@ -1,0 +1,81 @@
+"""Table 1 — IPC of clustered software pipelines.
+
+Paper values (16-wide, 211 loops)::
+
+                Two Clusters      Four Clusters     Eight Clusters
+    Model     Embedded  CopyUnit  Embedded CopyUnit Embedded CopyUnit
+    Ideal        8.6      8.6       8.6      8.6      8.6      8.6
+    Clustered    9.3      6.2       8.4      7.5      6.9      6.8
+
+Embedded IPC counts the inserted copies as executed operations (which is
+why 2-cluster embedded *exceeds* ideal — same work + copies in barely more
+cycles); copy-unit IPC does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evalx.metrics import arithmetic_mean
+from repro.evalx.runner import EvalRun, PAPER_CONFIG_ORDER, config_label
+from repro.machine.machine import CopyModel
+
+#: published Table 1 "Clustered" row, keyed like PAPER_CONFIG_ORDER
+PAPER_TABLE1_CLUSTERED: dict[tuple[int, CopyModel], float] = {
+    (2, CopyModel.EMBEDDED): 9.3,
+    (2, CopyModel.COPY_UNIT): 6.2,
+    (4, CopyModel.EMBEDDED): 8.4,
+    (4, CopyModel.COPY_UNIT): 7.5,
+    (8, CopyModel.EMBEDDED): 6.9,
+    (8, CopyModel.COPY_UNIT): 6.8,
+}
+PAPER_TABLE1_IDEAL = 8.6
+
+
+@dataclass
+class Table1:
+    """Computed Table 1 with the paper's numbers alongside."""
+
+    ideal_ipc: float
+    clustered_ipc: dict[tuple[int, CopyModel], float]
+
+    def format(self, with_paper: bool = True) -> str:
+        header = f"{'Model':<12}" + "".join(
+            f"{config_label(n, m):>24}" for n, m in PAPER_CONFIG_ORDER
+        )
+        ideal_row = f"{'Ideal':<12}" + "".join(
+            f"{self.ideal_ipc:>24.1f}" for _ in PAPER_CONFIG_ORDER
+        )
+        clustered_row = f"{'Clustered':<12}" + "".join(
+            f"{self.clustered_ipc[key]:>24.1f}" for key in PAPER_CONFIG_ORDER
+        )
+        lines = ["Table 1. IPC of Clustered Software Pipelines", header, ideal_row, clustered_row]
+        if with_paper:
+            lines.append(
+                f"{'(paper)':<12}"
+                + "".join(f"{PAPER_TABLE1_CLUSTERED[key]:>24.1f}" for key in PAPER_CONFIG_ORDER)
+            )
+            lines.append(f"(paper ideal: {PAPER_TABLE1_IDEAL})")
+        return "\n".join(lines)
+
+
+def compute_table1(run: EvalRun) -> Table1:
+    """Aggregate an evaluation run into Table 1.
+
+    The ideal row averages ideal IPC over loops (identical per config, so
+    the first configuration's metrics are used); the clustered row
+    averages each configuration's kernel IPC with the paper's copy-count
+    convention already applied by
+    :meth:`repro.sched.schedule.KernelSchedule.ipc`.
+    """
+    first = next(iter(run.per_config.values()))
+    ideal = arithmetic_mean([m.ideal_ipc for m in first])
+    clustered: dict[tuple[int, CopyModel], float] = {}
+    for key in PAPER_CONFIG_ORDER:
+        label = config_label(*key)
+        if label not in run.per_config:
+            continue
+        clustered[key] = arithmetic_mean(
+            [m.partitioned_ipc for m in run.per_config[label]]
+        )
+    return Table1(ideal_ipc=ideal, clustered_ipc=clustered)

@@ -1,0 +1,82 @@
+"""Table 2 — degradation over ideal schedules, normalized to 100.
+
+Paper values (ideal = 100)::
+
+                   Two Clusters      Four Clusters     Eight Clusters
+    Average      Embedded CopyUnit  Embedded CopyUnit  Embedded CopyUnit
+    Arithmetic      111      150       126      122       162      133
+    Harmonic        109      127       119      115       138      124
+
+"the entry of 111 ... indicates that when using the embedded model with
+two clusters of 8 functional units each, the partitioned schedules were
+11% longer (and slower) than the ideal schedule" (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evalx.metrics import arithmetic_mean, harmonic_mean
+from repro.evalx.runner import EvalRun, PAPER_CONFIG_ORDER, config_label
+from repro.machine.machine import CopyModel
+
+PAPER_TABLE2_ARITH: dict[tuple[int, CopyModel], int] = {
+    (2, CopyModel.EMBEDDED): 111,
+    (2, CopyModel.COPY_UNIT): 150,
+    (4, CopyModel.EMBEDDED): 126,
+    (4, CopyModel.COPY_UNIT): 122,
+    (8, CopyModel.EMBEDDED): 162,
+    (8, CopyModel.COPY_UNIT): 133,
+}
+PAPER_TABLE2_HARMONIC: dict[tuple[int, CopyModel], int] = {
+    (2, CopyModel.EMBEDDED): 109,
+    (2, CopyModel.COPY_UNIT): 127,
+    (4, CopyModel.EMBEDDED): 119,
+    (4, CopyModel.COPY_UNIT): 115,
+    (8, CopyModel.EMBEDDED): 138,
+    (8, CopyModel.COPY_UNIT): 124,
+}
+
+
+@dataclass
+class Table2:
+    """Computed Table 2 (normalized kernel sizes, ideal = 100)."""
+
+    arith: dict[tuple[int, CopyModel], float]
+    harmonic: dict[tuple[int, CopyModel], float]
+
+    def format(self, with_paper: bool = True) -> str:
+        header = f"{'Average':<18}" + "".join(
+            f"{config_label(n, m):>24}" for n, m in PAPER_CONFIG_ORDER
+        )
+        rows = [
+            "Table 2. Degradation Over Ideal Schedules -- Normalized",
+            header,
+            f"{'Arithmetic Mean':<18}"
+            + "".join(f"{self.arith[k]:>24.0f}" for k in PAPER_CONFIG_ORDER),
+            f"{'Harmonic Mean':<18}"
+            + "".join(f"{self.harmonic[k]:>24.0f}" for k in PAPER_CONFIG_ORDER),
+        ]
+        if with_paper:
+            rows.append(
+                f"{'(paper arith)':<18}"
+                + "".join(f"{PAPER_TABLE2_ARITH[k]:>24d}" for k in PAPER_CONFIG_ORDER)
+            )
+            rows.append(
+                f"{'(paper harm)':<18}"
+                + "".join(f"{PAPER_TABLE2_HARMONIC[k]:>24d}" for k in PAPER_CONFIG_ORDER)
+            )
+        return "\n".join(rows)
+
+
+def compute_table2(run: EvalRun) -> Table2:
+    arith: dict[tuple[int, CopyModel], float] = {}
+    harm: dict[tuple[int, CopyModel], float] = {}
+    for key in PAPER_CONFIG_ORDER:
+        label = config_label(*key)
+        if label not in run.per_config:
+            continue
+        normalized = [m.normalized_kernel for m in run.per_config[label]]
+        arith[key] = arithmetic_mean(normalized)
+        harm[key] = harmonic_mean(normalized)
+    return Table2(arith=arith, harmonic=harm)

@@ -1,0 +1,228 @@
+"""Fluent construction of loop bodies.
+
+Workloads, tests and examples build IR through :class:`LoopBuilder`, which
+resolves operands given as strings to registers from the loop's factory
+(creating them on first use with the dtype the opcode implies), accepts
+Python numbers as immediates, and records live-in/live-out sets.
+
+Example (the paper's Section 4.2 fragment)::
+
+    b = LoopBuilder("xpos_kernel")
+    b.fload("f1", "xvel")
+    b.fload("f2", "t")
+    b.fmul("f5", "f1", "f2")
+    ...
+    loop = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock, Loop
+from repro.ir.operations import Opcode, Operand, Operation
+from repro.ir.registers import RegisterFactory, SymbolicRegister
+from repro.ir.types import DataType, Immediate, MemRef
+
+RegLike = SymbolicRegister | str
+OperandLike = SymbolicRegister | Immediate | str | int | float
+
+
+@dataclass
+class LoopBuilder:
+    """Incrementally builds a :class:`~repro.ir.block.Loop`."""
+
+    name: str
+    depth: int = 1
+    trip_count_hint: int = 8
+    factory: RegisterFactory = field(default_factory=RegisterFactory)
+    _ops: list[Operation] = field(default_factory=list)
+    _live_in: set[SymbolicRegister] = field(default_factory=set)
+    _live_out: set[SymbolicRegister] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # operand resolution
+    # ------------------------------------------------------------------
+    def reg(self, spec: RegLike, dtype: DataType = DataType.INT) -> SymbolicRegister:
+        """Resolve a register spec.
+
+        Strings beginning with ``f`` name float registers, anything else
+        integer registers — matching the printer/parser convention.
+        """
+        if isinstance(spec, SymbolicRegister):
+            return spec
+        inferred = DataType.FLOAT if spec.startswith("f") else DataType.INT
+        existing = self.factory.get(spec)
+        if existing is not None:
+            return existing
+        return self.factory.named(spec, dtype=inferred if dtype is DataType.INT else dtype)
+
+    def operand(self, spec: OperandLike) -> Operand:
+        if isinstance(spec, (SymbolicRegister, Immediate)):
+            return spec
+        if isinstance(spec, str):
+            return self.reg(spec)
+        if isinstance(spec, int):
+            return Immediate(spec, DataType.INT)
+        return Immediate(float(spec), DataType.FLOAT)
+
+    # ------------------------------------------------------------------
+    # generic emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        opcode: Opcode,
+        dest: RegLike | None = None,
+        sources: tuple[OperandLike, ...] = (),
+        mem: MemRef | None = None,
+    ) -> Operation:
+        info = opcode.info
+        dest_reg: SymbolicRegister | None = None
+        if dest is not None:
+            dtype = info.result_dtype or DataType.INT
+            dest_reg = self.reg(dest, dtype=dtype)
+        op = Operation(
+            opcode=opcode,
+            dest=dest_reg,
+            sources=tuple(self.operand(s) for s in sources),
+            mem=mem,
+        )
+        self._ops.append(op)
+        return op
+
+    # ------------------------------------------------------------------
+    # per-opcode sugar
+    # ------------------------------------------------------------------
+    def load(
+        self, dest: RegLike, array: str, offset: int = 0, scalar: bool = False, stride: int = 1
+    ) -> Operation:
+        return self.emit(Opcode.LOAD, dest, (), MemRef(array, offset, scalar, stride))
+
+    def fload(
+        self, dest: RegLike, array: str, offset: int = 0, scalar: bool = False, stride: int = 1
+    ) -> Operation:
+        return self.emit(Opcode.FLOAD, dest, (), MemRef(array, offset, scalar, stride))
+
+    def store(
+        self, src: OperandLike, array: str, offset: int = 0, scalar: bool = False, stride: int = 1
+    ) -> Operation:
+        return self.emit(Opcode.STORE, None, (src,), MemRef(array, offset, scalar, stride))
+
+    def fstore(
+        self, src: OperandLike, array: str, offset: int = 0, scalar: bool = False, stride: int = 1
+    ) -> Operation:
+        return self.emit(Opcode.FSTORE, None, (src,), MemRef(array, offset, scalar, stride))
+
+    def add(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.ADD, dest, (a, b))
+
+    def sub(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.SUB, dest, (a, b))
+
+    def mul(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.MUL, dest, (a, b))
+
+    def div(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.DIV, dest, (a, b))
+
+    def and_(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.AND, dest, (a, b))
+
+    def or_(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.OR, dest, (a, b))
+
+    def xor(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.XOR, dest, (a, b))
+
+    def shl(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.SHL, dest, (a, b))
+
+    def shr(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.SHR, dest, (a, b))
+
+    def cmp(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.CMP, dest, (a, b))
+
+    def select(self, dest: RegLike, c: OperandLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.SELECT, dest, (c, a, b))
+
+    def movi(self, dest: RegLike, value: OperandLike) -> Operation:
+        return self.emit(Opcode.MOVI, dest, (value,))
+
+    def fadd(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.FADD, dest, (a, b))
+
+    def fsub(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.FSUB, dest, (a, b))
+
+    def fmul(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.FMUL, dest, (a, b))
+
+    def fdiv(self, dest: RegLike, a: OperandLike, b: OperandLike) -> Operation:
+        return self.emit(Opcode.FDIV, dest, (a, b))
+
+    def fneg(self, dest: RegLike, a: OperandLike) -> Operation:
+        return self.emit(Opcode.FNEG, dest, (a,))
+
+    def fmov(self, dest: RegLike, a: OperandLike) -> Operation:
+        return self.emit(Opcode.FMOV, dest, (a,))
+
+    def cvtif(self, dest: RegLike, a: OperandLike) -> Operation:
+        return self.emit(Opcode.CVTIF, dest, (a,))
+
+    def cvtfi(self, dest: RegLike, a: OperandLike) -> Operation:
+        return self.emit(Opcode.CVTFI, dest, (a,))
+
+    # ------------------------------------------------------------------
+    # boundary liveness
+    # ------------------------------------------------------------------
+    def live_in(self, *specs: RegLike) -> "LoopBuilder":
+        """Declare registers defined before the loop (bases, invariants)."""
+        for s in specs:
+            self._live_in.add(self.reg(s))
+        return self
+
+    def live_out(self, *specs: RegLike) -> "LoopBuilder":
+        """Declare registers consumed after the loop (reduction results)."""
+        for s in specs:
+            self._live_out.add(self.reg(s))
+        return self
+
+    def build_block(self, depth: int | None = None) -> BasicBlock:
+        """Finalize as a straight-line basic block (whole-function path);
+        no loop-level invariants are enforced beyond operation structure."""
+        return BasicBlock(
+            name=f"{self.name}.block",
+            ops=list(self._ops),
+            depth=self.depth if depth is None else depth,
+        )
+
+    # ------------------------------------------------------------------
+    def build(self, verify: bool = True) -> Loop:
+        """Finalize the loop; auto-detects live-ins that were never declared.
+
+        Any register used in the body but never defined there and never
+        explicitly declared is treated as a live-in (it must come from
+        outside), which keeps workload definitions terse.
+        """
+        block = BasicBlock(name=f"{self.name}.body", ops=list(self._ops), depth=self.depth)
+        defined = {op.dest for op in self._ops if op.dest is not None}
+        live_in = set(self._live_in)
+        for op in self._ops:
+            for reg in op.used():
+                if reg not in defined:
+                    live_in.add(reg)
+        loop = Loop(
+            name=self.name,
+            body=block,
+            depth=self.depth,
+            factory=self.factory,
+            live_in=live_in,
+            live_out=set(self._live_out),
+            trip_count_hint=self.trip_count_hint,
+        )
+        if verify:
+            from repro.ir.verify import verify_loop
+
+            verify_loop(loop)
+        return loop

@@ -1,0 +1,52 @@
+"""Functions: ordered collections of basic blocks with loop metadata.
+
+The paper's method "is easily adapted to entire functions" (Sections 5-7);
+the RCG is simply built over every block's ideal schedule rather than a
+single loop kernel.  :class:`Function` is the container that whole-function
+path uses.  Control flow is kept deliberately simple — a linear block list
+with per-block nesting depth — because the partitioner consumes only
+(operation, instruction, depth) triples, never branch structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock
+from repro.ir.registers import RegisterFactory, SymbolicRegister
+
+
+@dataclass(slots=True)
+class Function:
+    """A compilation unit for the whole-function partitioning path."""
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+    factory: RegisterFactory = field(default_factory=RegisterFactory)
+    live_in: set[SymbolicRegister] = field(default_factory=set)
+    live_out: set[SymbolicRegister] = field(default_factory=set)
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if any(b.name == block.name for b in self.blocks):
+            raise ValueError(f"duplicate block name {block.name!r} in {self.name!r}")
+        self.blocks.append(block)
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no block named {name!r} in function {self.name!r}")
+
+    def registers(self) -> set[SymbolicRegister]:
+        regs: set[SymbolicRegister] = set(self.live_in) | set(self.live_out)
+        for b in self.blocks:
+            regs.update(b.registers())
+        return regs
+
+    @property
+    def n_operations(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)

@@ -1,0 +1,47 @@
+"""Stable textual rendering of IR.
+
+The format round-trips through :mod:`repro.ir.parser` and mirrors the
+paper's own listing style (Figure 1): ``opcode dest, src1, src2`` with
+memory references rendered as ``name`` (scalar) or ``name[i+k]`` (array).
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import Loop
+from repro.ir.operations import Operation
+from repro.ir.registers import SymbolicRegister
+from repro.ir.types import Immediate
+
+
+def format_operand(operand: SymbolicRegister | Immediate) -> str:
+    return str(operand)
+
+
+def format_operation(op: Operation) -> str:
+    """Render one operation as a single line."""
+    parts: list[str] = []
+    if op.dest is not None:
+        parts.append(str(op.dest))
+    parts.extend(format_operand(s) for s in op.sources)
+    if op.mem is not None:
+        parts.append(str(op.mem))
+    body = ", ".join(parts)
+    text = f"{op.opcode.value} {body}" if body else op.opcode.value
+    if op.cluster is not None:
+        text += f"  @c{op.cluster}"
+    return text
+
+
+def format_loop(loop: Loop) -> str:
+    """Render a whole loop, including boundary liveness, as parseable text."""
+    lines = [f"loop {loop.name} depth={loop.depth} trip={loop.trip_count_hint}"]
+    if loop.live_in:
+        names = ", ".join(sorted(r.name for r in loop.live_in))
+        lines.append(f"  live_in {names}")
+    if loop.live_out:
+        names = ", ".join(sorted(r.name for r in loop.live_out))
+        lines.append(f"  live_out {names}")
+    for op in loop.ops:
+        lines.append(f"  {format_operation(op)}")
+    lines.append("end")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Core value types used throughout the IR.
+
+The paper's machine model distinguishes integer and floating-point values
+only through operation latencies (Section 6.1) and inter-cluster copy cost
+(2 cycles for integer copies, 3 for floating point), so the type system here
+is deliberately small: :class:`DataType` tags registers and immediates, and
+:class:`MemRef` gives loads/stores enough structure for the dependence
+analyzer to compute loop-carried memory dependence distances.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DataType(enum.Enum):
+    """The two value classes the machine model distinguishes.
+
+    ``INT`` covers addresses, induction variables and integer arithmetic;
+    ``FLOAT`` covers floating-point data.  Copy latency between register
+    banks depends on this tag (2 cycles for ``INT``, 3 for ``FLOAT`` in the
+    paper's models).
+    """
+
+    INT = "int"
+    FLOAT = "float"
+
+    @property
+    def is_float(self) -> bool:
+        return self is DataType.FLOAT
+
+    @property
+    def short(self) -> str:
+        """Single-letter prefix used in register names (``r``/``f``)."""
+        return "f" if self is DataType.FLOAT else "r"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Immediate:
+    """A compile-time constant operand.
+
+    Immediates never live in registers, never appear in the register
+    component graph, and never require inter-cluster copies; they exist so
+    that workloads can express literal operands (e.g. the ``2.0`` in the
+    paper's Section 4.2 example ``div r8, r2, 2.0``).
+    """
+
+    value: float
+    dtype: DataType = DataType.INT
+
+    def __post_init__(self) -> None:
+        if self.dtype is DataType.INT and float(self.value) != int(self.value):
+            raise ValueError(f"integer immediate with fractional value: {self.value!r}")
+
+    def __str__(self) -> str:
+        if self.dtype is DataType.INT:
+            return str(int(self.value))
+        return repr(float(self.value))
+
+
+@dataclass(frozen=True, slots=True)
+class MemRef:
+    """A symbolic memory reference ``array[stride*i + offset]``.
+
+    All loops in this reproduction are single-block innermost loops over a
+    canonical induction variable ``i``, matching the corpus the paper
+    pipelines ("single-block innermost loops", Section 6.3).  A reference
+    is fully described by the array name, a constant offset and a stride
+    (1 for ordinary loops; the unroll transformation produces stride =
+    unroll factor so replica ``u`` touches original index ``U*i + u``).
+    Scalar (loop-invariant) references use ``scalar=True`` and ignore the
+    induction variable entirely.
+
+    The dependence builder uses pairs of :class:`MemRef` on the same array
+    to derive flow/anti/output memory dependences and their iteration
+    distances; see :mod:`repro.ddg.builder`.
+    """
+
+    array: str
+    offset: int = 0
+    scalar: bool = False
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.array:
+            raise ValueError("MemRef requires a non-empty array name")
+        if self.stride < 1:
+            raise ValueError("MemRef stride must be positive")
+
+    def address(self, iteration: int) -> int:
+        """Concrete index touched in ``iteration`` (simulator semantics)."""
+        if self.scalar:
+            return 0
+        return self.stride * iteration + self.offset
+
+    def same_location_distance(self, later: "MemRef") -> int | None:
+        """Iteration distance ``d >= 0`` at which ``later`` (executed ``d``
+        iterations after ``self``) touches the same address, or ``None`` if
+        the two references can never alias.
+
+        For scalar references the distance is 0 (every iteration touches
+        the same cell; the builder adds the carried distance explicitly).
+        For ``array[s*i + a]`` followed ``d`` iterations later by
+        ``array[s*i + b]`` the addresses match when
+        ``s*i + a == s*(i + d) + b``, i.e. ``d == (a - b) / s`` when that
+        divides evenly.  References with *different* strides over the same
+        array are rejected — no loop this system produces mixes strides,
+        and guessing a conservative distance would silently corrupt RecII.
+        """
+        if self.array != later.array:
+            return None
+        if self.scalar or later.scalar:
+            if self.scalar and later.scalar:
+                return 0
+            return None
+        if self.stride != later.stride:
+            raise ValueError(
+                f"mixed strides on array {self.array!r}: "
+                f"{self.stride} vs {later.stride}"
+            )
+        diff = self.offset - later.offset
+        if diff < 0 or diff % self.stride != 0:
+            return None
+        return diff // self.stride
+
+    def __str__(self) -> str:
+        if self.scalar:
+            return self.array
+        iv = "i" if self.stride == 1 else f"{self.stride}i"
+        if self.offset == 0:
+            return f"{self.array}[{iv}]"
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.array}[{iv}{sign}{abs(self.offset)}]"

@@ -1,0 +1,100 @@
+"""Structural verification of loop IR.
+
+Every workload — hand-written, parsed or synthesized — passes through
+:func:`verify_loop` before scheduling.  The checks encode the assumptions
+the rest of the pipeline relies on; violating any of them would silently
+corrupt dependence analysis or partitioning, so they fail loudly here
+instead.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import Loop
+from repro.ir.registers import SymbolicRegister
+from repro.ir.types import DataType
+
+
+class IRVerificationError(ValueError):
+    """Raised when a loop violates a structural IR invariant."""
+
+
+def verify_loop(loop: Loop) -> None:
+    """Validate ``loop``; raises :class:`IRVerificationError` on failure.
+
+    Invariants enforced:
+
+    1. every register has at most one defining operation in the body
+       (bodies are single-assignment; accumulators are the single op that
+       both defines and uses its register);
+    2. every register used in the body is either defined in the body or a
+       declared live-in;
+    3. every live-out is defined in the body or is a live-in;
+    4. operand data types are consistent with the opcode
+       (fp arithmetic reads fp registers, copies preserve dtype, address
+       operands of loads/stores would be integers — we check register
+       dtypes against what each opcode's class implies);
+    5. the body is non-empty.
+    """
+    if len(loop.ops) == 0:
+        raise IRVerificationError(f"loop {loop.name!r} has an empty body")
+
+    defs: dict[SymbolicRegister, int] = {}
+    for idx, op in enumerate(loop.ops):
+        if op.dest is not None:
+            if op.dest in defs:
+                raise IRVerificationError(
+                    f"loop {loop.name!r}: register {op.dest} defined by ops "
+                    f"{defs[op.dest]} and {idx}; bodies must be single-assignment"
+                )
+            defs[op.dest] = idx
+
+    defined = set(defs)
+    for op in loop.ops:
+        for reg in op.used():
+            if reg not in defined and reg not in loop.live_in:
+                raise IRVerificationError(
+                    f"loop {loop.name!r}: {reg} used by {op!r} but neither defined "
+                    "in the body nor declared live-in"
+                )
+
+    for reg in loop.live_out:
+        if reg not in defined and reg not in loop.live_in:
+            raise IRVerificationError(
+                f"loop {loop.name!r}: live-out {reg} is never defined"
+            )
+
+    for op in loop.ops:
+        _check_types(loop, op)
+
+
+_FLOAT_RESULT = {"fload"}
+
+
+def _check_types(loop: Loop, op) -> None:
+    info = op.opcode.info
+    if info.result_dtype is not None and op.dest is not None:
+        if op.dest.dtype is not info.result_dtype:
+            raise IRVerificationError(
+                f"loop {loop.name!r}: {op!r} defines {op.dest} of type "
+                f"{op.dest.dtype.value}, expected {info.result_dtype.value}"
+            )
+    if op.is_copy:
+        (src,) = op.sources
+        if isinstance(src, SymbolicRegister) and op.dest is not None:
+            if src.dtype is not op.dest.dtype:
+                raise IRVerificationError(
+                    f"loop {loop.name!r}: copy {op!r} changes data type"
+                )
+    # fp arithmetic must read fp values (immediates excepted: the builder
+    # types them by literal form, and mixed-literal idioms are common).
+    if op.opcode.value.startswith("f") and op.opcode.value not in (
+        "fload",
+        "fstore",
+    ):
+        for reg in op.used():
+            if op.opcode.value in ("cvtfi",):
+                continue
+            if reg.dtype is not DataType.FLOAT and op.opcode.value != "cvtif":
+                raise IRVerificationError(
+                    f"loop {loop.name!r}: fp op {op!r} reads integer register {reg}"
+                )

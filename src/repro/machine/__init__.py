@@ -1,0 +1,38 @@
+"""Clustered-VLIW machine descriptions (paper Section 6.1).
+
+The paper evaluates a 16-wide ILP meta-model carved into N clusters of
+general-purpose functional units, each cluster owning one multi-ported
+register bank, with two inter-cluster communication schemes:
+
+* **embedded model** — copies are explicit operations that occupy an
+  instruction slot on one of the destination cluster's functional units;
+* **copy-unit model** — extra issue slots ("copy ports") and N buses are
+  reserved exclusively for copies, leaving FU slots free.
+
+This package provides the latency table, the machine description object
+consumed by the schedulers and the partitioner, and presets for every
+configuration the paper measures.
+"""
+
+from repro.machine.latency import LatencyTable, PAPER_LATENCIES, unit_latencies
+from repro.machine.machine import CopyModel, MachineDescription
+from repro.machine.presets import (
+    ideal_machine,
+    paper_machine,
+    example_machine_2x1,
+    prior_work_machine_4wide,
+    all_paper_configs,
+)
+
+__all__ = [
+    "LatencyTable",
+    "PAPER_LATENCIES",
+    "unit_latencies",
+    "CopyModel",
+    "MachineDescription",
+    "ideal_machine",
+    "paper_machine",
+    "example_machine_2x1",
+    "prior_work_machine_4wide",
+    "all_paper_configs",
+]

@@ -1,0 +1,134 @@
+"""Machine descriptions for clustered VLIW targets.
+
+A :class:`MachineDescription` is everything the schedulers, the RCG
+partitioner and the register allocator need to know about the target:
+cluster geometry, issue resources, the inter-cluster copy mechanism, the
+latency table and bank capacity.  It is immutable; presets for the paper's
+configurations live in :mod:`repro.machine.presets`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.ir.operations import Operation
+from repro.machine.latency import LatencyTable, PAPER_LATENCIES
+
+
+class CopyModel(enum.Enum):
+    """How inter-cluster register copies are supported (Section 6.1).
+
+    ``NONE``
+        Monolithic register bank: every functional unit sees every
+        register, copies never arise.  This is the paper's "ideal" model.
+    ``EMBEDDED``
+        A copy is an explicit operation issued on one of the *destination*
+        cluster's functional units; it competes with real work for slots.
+    ``COPY_UNIT``
+        Copies issue on dedicated per-cluster copy ports and travel over a
+        shared pool of buses; they consume no FU slots, but per-cycle copy
+        bandwidth is limited by ports and buses.
+    """
+
+    NONE = "none"
+    EMBEDDED = "embedded"
+    COPY_UNIT = "copy_unit"
+
+
+def default_copy_ports(n_clusters: int) -> int:
+    """Per-cluster copy ports for the copy-unit model.
+
+    The paper's closed form is unreadable in the available scan, but the
+    prose fixes two points: 2 clusters -> 1 port each, 8 clusters -> 3
+    ports each.  ``log2(N)`` matches both and interpolates to 2 ports at 4
+    clusters; it is also the natural "ports grow with cluster count while
+    per-cluster FU count shrinks" shape the discussion describes.
+    """
+    return max(1, int(round(math.log2(max(2, n_clusters)))))
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """An N-cluster, fully-general-FU VLIW machine.
+
+    Attributes
+    ----------
+    name: human-readable identifier used in reports.
+    n_clusters: number of register banks / clusters.
+    fus_per_cluster: general-purpose functional units per cluster.
+    copy_model: inter-cluster communication scheme.
+    latencies: operation latency table.
+    copy_ports_per_cluster: copy issue slots per cluster and cycle
+        (copy-unit model only).
+    n_buses: machine-wide buses; at most this many copies can be in
+        flight per cycle under the copy-unit model.
+    regs_per_bank: physical registers per bank, used by the
+        Chaitin/Briggs assignment phase.
+    """
+
+    name: str
+    n_clusters: int
+    fus_per_cluster: int
+    copy_model: CopyModel = CopyModel.NONE
+    latencies: LatencyTable = PAPER_LATENCIES
+    copy_ports_per_cluster: int = 0
+    n_buses: int = 0
+    regs_per_bank: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        if self.fus_per_cluster < 1:
+            raise ValueError("need at least one FU per cluster")
+        if self.n_clusters == 1 and self.copy_model is not CopyModel.NONE:
+            raise ValueError("a monolithic machine has no inter-cluster copies")
+        if self.n_clusters > 1 and self.copy_model is CopyModel.NONE:
+            raise ValueError("a clustered machine needs a copy model")
+        if self.copy_model is CopyModel.COPY_UNIT:
+            if self.copy_ports_per_cluster < 1 or self.n_buses < 1:
+                raise ValueError("copy-unit model requires copy ports and buses")
+        if self.regs_per_bank < 2:
+            raise ValueError("register banks must hold at least two registers")
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total issue width (functional-unit slots per cycle)."""
+        return self.n_clusters * self.fus_per_cluster
+
+    @property
+    def is_clustered(self) -> bool:
+        return self.n_clusters > 1
+
+    @property
+    def clusters(self) -> range:
+        return range(self.n_clusters)
+
+    def latency(self, op: Operation) -> int:
+        return self.latencies.of(op)
+
+    def copy_bandwidth_per_cycle(self) -> int:
+        """Upper bound on copies issued machine-wide in one cycle."""
+        if self.copy_model is CopyModel.EMBEDDED:
+            return self.width
+        if self.copy_model is CopyModel.COPY_UNIT:
+            return min(self.n_buses, self.n_clusters * self.copy_ports_per_cluster)
+        return 0
+
+    def validate_cluster(self, cluster: int | None) -> None:
+        if cluster is None:
+            return
+        if not (0 <= cluster < self.n_clusters):
+            raise ValueError(
+                f"cluster {cluster} out of range for machine {self.name!r} "
+                f"with {self.n_clusters} clusters"
+            )
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``4x4 copy_unit (2 ports, 4 buses)``."""
+        base = f"{self.n_clusters}x{self.fus_per_cluster} {self.copy_model.value}"
+        if self.copy_model is CopyModel.COPY_UNIT:
+            base += f" ({self.copy_ports_per_cluster} ports, {self.n_buses} buses)"
+        return base

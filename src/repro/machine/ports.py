@@ -1,0 +1,91 @@
+"""Register-file port pressure analysis.
+
+The paper's entire motivation (Sections 1 and 4): "The number of ports
+required for such a register bank severely hampers access time. ...
+Consider an architecture with a rather modest ILP level of six ... such
+an architecture would require simultaneous access of up to 18 different
+registers from the same register bank."
+
+This module makes that argument measurable on compiled kernels: for each
+steady-state kernel cycle it counts, per register bank,
+
+* **reads** — register source operands of the operations issuing that
+  cycle (operands read at issue), and
+* **writes** — results landing that cycle (an operation issued at row
+  ``r`` writes at row ``(r + latency) mod II``),
+
+and reports the worst cycle.  On the monolithic ideal machine every
+access hits the single bank — the number the paper calls impractical;
+after partitioning, the same traffic spreads across banks and the
+per-bank maximum is what the hardware must actually provision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.greedy import Partition
+from repro.sched.schedule import KernelSchedule
+
+
+@dataclass(frozen=True)
+class PortPressure:
+    """Worst-cycle port demand of one kernel."""
+
+    n_banks: int
+    max_reads_per_bank: int
+    max_writes_per_bank: int
+    max_total_per_bank: int
+    monolithic_max_total: int
+
+    @property
+    def reduction_factor(self) -> float:
+        """How much partitioning shrinks the worst bank's port count."""
+        if self.max_total_per_bank == 0:
+            return 1.0
+        return self.monolithic_max_total / self.max_total_per_bank
+
+
+def port_pressure(
+    kernel: KernelSchedule, partition: Partition | None = None
+) -> PortPressure:
+    """Measure steady-state port demand of ``kernel``.
+
+    With ``partition`` given, accesses are attributed to their register's
+    bank; without one (the monolithic machine) everything counts against
+    a single bank.  Immediates and memory traffic do not touch the
+    register file and are excluded.
+    """
+    ii = kernel.ii
+    n_banks = partition.n_banks if partition is not None else 1
+
+    def bank_of(reg) -> int:
+        if partition is None:
+            return 0
+        return partition.bank_of(reg)
+
+    reads = [[0] * n_banks for _ in range(ii)]
+    writes = [[0] * n_banks for _ in range(ii)]
+    for op in kernel.loop.ops:
+        row = kernel.row_of(op)
+        for reg in op.used():
+            reads[row][bank_of(reg)] += 1
+        if op.dest is not None:
+            land = (kernel.time_of(op) + kernel.machine.latency(op)) % ii
+            writes[land][bank_of(op.dest)] += 1
+
+    max_r = max(reads[r][b] for r in range(ii) for b in range(n_banks))
+    max_w = max(writes[r][b] for r in range(ii) for b in range(n_banks))
+    max_t = max(
+        reads[r][b] + writes[r][b] for r in range(ii) for b in range(n_banks)
+    )
+    mono = max(
+        sum(reads[r]) + sum(writes[r]) for r in range(ii)
+    )
+    return PortPressure(
+        n_banks=n_banks,
+        max_reads_per_bank=max_r,
+        max_writes_per_bank=max_w,
+        max_total_per_bank=max_t,
+        monolithic_max_total=mono,
+    )

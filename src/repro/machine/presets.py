@@ -1,0 +1,99 @@
+"""Machine presets for every configuration the paper measures.
+
+Section 6.1's meta-model is a 16-wide machine of general-purpose FUs split
+into N clusters, N in {2, 4, 8}, under the embedded and copy-unit models.
+The "ideal" comparison point is the same 16-wide machine with a single
+monolithic register bank.  Section 4.2's worked example uses a 2-cluster,
+1-FU-per-cluster machine with unit latencies, and the authors' earlier
+whole-program study ([16], quoted in Sections 3 and 7) used a 4-wide
+machine with 4 single-FU clusters.
+"""
+
+from __future__ import annotations
+
+from repro.machine.latency import PAPER_LATENCIES, LatencyTable, unit_latencies
+from repro.machine.machine import CopyModel, MachineDescription, default_copy_ports
+
+PAPER_WIDTH = 16
+PAPER_CLUSTER_COUNTS = (2, 4, 8)
+
+
+def ideal_machine(width: int = PAPER_WIDTH, latencies: LatencyTable = PAPER_LATENCIES) -> MachineDescription:
+    """The monolithic-register-bank machine ("Ideal" rows of Tables 1-2)."""
+    return MachineDescription(
+        name=f"ideal-{width}wide",
+        n_clusters=1,
+        fus_per_cluster=width,
+        copy_model=CopyModel.NONE,
+        latencies=latencies,
+    )
+
+
+def paper_machine(
+    n_clusters: int,
+    copy_model: CopyModel,
+    width: int = PAPER_WIDTH,
+    latencies: LatencyTable = PAPER_LATENCIES,
+    copy_ports: int | None = None,
+    n_buses: int | None = None,
+) -> MachineDescription:
+    """One of the paper's six clustered configurations.
+
+    ``n_clusters`` must divide ``width``; the copy-unit variant gets
+    ``log2(N)`` copy ports per cluster and ``N`` buses by default (see
+    :func:`repro.machine.machine.default_copy_ports` for the
+    reconstruction rationale).
+    """
+    if width % n_clusters != 0:
+        raise ValueError(f"{n_clusters} clusters do not evenly divide width {width}")
+    if copy_model is CopyModel.NONE:
+        raise ValueError("use ideal_machine() for the monolithic configuration")
+    kwargs = {}
+    if copy_model is CopyModel.COPY_UNIT:
+        kwargs["copy_ports_per_cluster"] = (
+            copy_ports if copy_ports is not None else default_copy_ports(n_clusters)
+        )
+        kwargs["n_buses"] = n_buses if n_buses is not None else n_clusters
+    return MachineDescription(
+        name=f"{n_clusters}x{width // n_clusters}-{copy_model.value}",
+        n_clusters=n_clusters,
+        fus_per_cluster=width // n_clusters,
+        copy_model=copy_model,
+        latencies=latencies,
+        **kwargs,
+    )
+
+
+def example_machine_2x1() -> MachineDescription:
+    """Section 4.2's demonstration target: two single-FU clusters, each
+    with its own bank, unit latency for every operation (including the
+    copies, per the example's schedules)."""
+    return MachineDescription(
+        name="example-2x1",
+        n_clusters=2,
+        fus_per_cluster=1,
+        copy_model=CopyModel.EMBEDDED,
+        latencies=unit_latencies(),
+    )
+
+
+def prior_work_machine_4wide() -> MachineDescription:
+    """The 4-wide, 4-cluster machine of the authors' whole-program study
+    ([16]); used by the whole-function example and baseline bench."""
+    return MachineDescription(
+        name="priorwork-4x1-embedded",
+        n_clusters=4,
+        fus_per_cluster=1,
+        copy_model=CopyModel.EMBEDDED,
+        latencies=PAPER_LATENCIES,
+    )
+
+
+def all_paper_configs() -> list[MachineDescription]:
+    """The six clustered machines of Tables 1-2 in column order:
+    (2, 4, 8 clusters) x (embedded, copy-unit)."""
+    configs: list[MachineDescription] = []
+    for n in PAPER_CLUSTER_COUNTS:
+        for model in (CopyModel.EMBEDDED, CopyModel.COPY_UNIT):
+            configs.append(paper_machine(n, model))
+    return configs

@@ -1,0 +1,111 @@
+"""Cyclic liveness for software-pipelined kernels.
+
+In a modulo schedule, iteration ``k`` issues operation ``o`` at absolute
+cycle ``k * II + t(o)``.  A value defined at flat time ``t_def`` and last
+read at flat time ``t_use + II * distance`` (the reader may sit
+``distance`` iterations later) is live for
+
+    lifetime = last_use - t_def
+
+cycles; a lifetime exceeding II means consecutive iterations' instances of
+the value are simultaneously live, which is what modulo variable expansion
+resolves.  Loop-invariant live-ins are live for the whole loop; live-outs
+stay live through the end of their final iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ddg.graph import DDG
+from repro.ir.registers import SymbolicRegister
+from repro.sched.schedule import KernelSchedule
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    """Flat-schedule live range of one virtual register.
+
+    ``start`` is the defining op's issue cycle; ``lifetime`` the number of
+    cycles the value must be preserved (at least 1).  ``invariant`` marks
+    loop-invariant live-ins, which occupy a register for the entire loop
+    and are excluded from MVE replication (their instance never changes).
+    """
+
+    reg: SymbolicRegister
+    start: int
+    lifetime: int
+    invariant: bool = False
+    n_uses: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.lifetime
+
+
+@dataclass
+class CyclicLiveness:
+    """Live ranges of every register appearing in a kernel schedule."""
+
+    ii: int
+    ranges: dict[int, LiveRange]
+
+    def max_lifetime(self) -> int:
+        non_inv = [r.lifetime for r in self.ranges.values() if not r.invariant]
+        return max(non_inv, default=1)
+
+    def range_of(self, reg: SymbolicRegister) -> LiveRange:
+        return self.ranges[reg.rid]
+
+    def __iter__(self):
+        return iter(self.ranges.values())
+
+
+def cyclic_liveness(kernel: KernelSchedule, ddg: DDG) -> CyclicLiveness:
+    """Compute live ranges from a kernel schedule and its DDG.
+
+    Uses flow-edge distances to push last-use times across iterations.
+    A register that is live-out keeps its value until the end of the flat
+    schedule of its own iteration (the postlude consumes it).
+    """
+    loop = kernel.loop
+    ii = kernel.ii
+    ranges: dict[int, LiveRange] = {}
+
+    use_counts: dict[int, int] = {}
+    for op in loop.ops:
+        for r in op.used():
+            use_counts[r.rid] = use_counts.get(r.rid, 0) + 1
+
+    # defined-in-body registers: start at def issue, end at last use
+    for op in loop.ops:
+        if op.dest is None:
+            continue
+        reg = op.dest
+        t_def = kernel.time_of(op)
+        last = t_def + kernel.machine.latency(op)  # a dead def still owns its slot
+        for dep in ddg.successors(op):
+            if dep.reg is not None and dep.reg.rid == reg.rid:
+                last = max(last, kernel.time_of(dep.dst) + ii * dep.distance)
+        if reg in loop.live_out:
+            last = max(last, kernel.flat_length)
+        ranges[reg.rid] = LiveRange(
+            reg=reg,
+            start=t_def,
+            lifetime=max(1, last - t_def),
+            invariant=False,
+            n_uses=use_counts.get(reg.rid, 0),
+        )
+
+    # live-ins with no body definition: loop-invariant, live throughout
+    for reg in loop.live_in:
+        if reg.rid in ranges:
+            continue
+        ranges[reg.rid] = LiveRange(
+            reg=reg,
+            start=0,
+            lifetime=kernel.flat_length,
+            invariant=True,
+            n_uses=use_counts.get(reg.rid, 0),
+        )
+    return CyclicLiveness(ii=ii, ranges=ranges)

@@ -1,0 +1,117 @@
+"""Modulo variable expansion (Lam) planning.
+
+Without rotating register files, a kernel value whose lifetime exceeds II
+is overwritten by the next iteration before its last use.  MVE unrolls the
+kernel ``u`` times, where
+
+    u = max over values v of ceil(lifetime(v) / II),
+
+and gives each value ``q_v >= ceil(lifetime(v) / II)`` register names used
+round-robin by consecutive iterations; a name's occupancy windows are then
+``q_v * II`` apart, which is at least the lifetime, so instances of the
+same name never overlap.  Because the round-robin must stay consistent
+where the unrolled kernel wraps around, each ``q_v`` is rounded up to the
+smallest **divisor of the unroll factor** (e.g. a 4-name value inside a
+6-unrolled kernel gets 6 names) — otherwise iteration ``unroll`` would
+reuse name ``unroll mod q_v`` while restarting the timeline at name 0.
+The plan produced here drives interference construction
+(:mod:`repro.regalloc.interference`); no IR is rewritten — physical
+assignment happens directly on (register, replica) pairs.
+
+Loop-invariant values get exactly one name and are live over the entire
+unrolled timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.regalloc.liveness import CyclicLiveness
+
+
+@dataclass(frozen=True)
+class ReplicaWindow:
+    """One cyclic occupancy window of one register name."""
+
+    rid: int
+    replica: int
+    start: int      # within [0, timeline)
+    length: int     # <= timeline
+
+    def covers(self, cycle: int, timeline: int) -> bool:
+        off = (cycle - self.start) % timeline
+        return off < self.length
+
+
+@dataclass
+class MVEPlan:
+    """The unroll factor, per-value replica counts and occupancy windows."""
+
+    ii: int
+    unroll: int
+    replicas: dict[int, int]            # rid -> q_v (1 for invariants)
+    windows: list[ReplicaWindow]
+    invariant_rids: set[int]
+
+    @property
+    def timeline(self) -> int:
+        """Length of the cyclic interference timeline (= unroll * II)."""
+        return self.unroll * self.ii
+
+    def names(self) -> list[tuple[int, int]]:
+        """All (rid, replica) names needing a physical register."""
+        out: list[tuple[int, int]] = []
+        for rid in sorted(self.replicas):
+            for q in range(self.replicas[rid]):
+                out.append((rid, q))
+        return out
+
+
+def plan_mve(liveness: CyclicLiveness) -> MVEPlan:
+    """Build the MVE plan from cyclic live ranges."""
+    ii = liveness.ii
+    replicas: dict[int, int] = {}
+    invariant_rids: set[int] = set()
+    unroll = 1
+    for lr in liveness:
+        if lr.invariant:
+            replicas[lr.reg.rid] = 1
+            invariant_rids.add(lr.reg.rid)
+            continue
+        q = max(1, math.ceil(lr.lifetime / ii))
+        replicas[lr.reg.rid] = q
+        unroll = max(unroll, q)
+
+    # round every replica count up to a divisor of the unroll factor so
+    # the per-iteration round-robin is consistent across the wraparound
+    for rid, q in replicas.items():
+        if rid in invariant_rids:
+            continue
+        while unroll % q != 0:
+            q += 1
+        replicas[rid] = q
+
+    timeline = unroll * ii
+    windows: list[ReplicaWindow] = []
+    for lr in liveness:
+        rid = lr.reg.rid
+        if rid in invariant_rids:
+            windows.append(ReplicaWindow(rid=rid, replica=0, start=0, length=timeline))
+            continue
+        q = replicas[rid]
+        # iteration j (0 <= j < unroll) writes name j mod q at cycle
+        # (j * II + start) mod timeline for `lifetime` cycles
+        for j in range(unroll):
+            start = (j * ii + lr.start) % timeline
+            length = min(lr.lifetime, timeline)
+            windows.append(
+                ReplicaWindow(rid=rid, replica=j % q, start=start, length=length)
+            )
+    return MVEPlan(
+        ii=ii,
+        unroll=unroll,
+        replicas=replicas,
+        windows=windows,
+        invariant_rids=invariant_rids,
+    )

@@ -1,0 +1,151 @@
+"""Rotating-register-file allocation — the hardware alternative to MVE.
+
+Modulo variable expansion resolves lifetime-vs-II overlap in *software*
+by unrolling the kernel and renaming; Rau's rotating register files
+resolve it in *hardware*: physical register numbers advance by one every
+iteration, so instance ``k`` of a value allocated at rotating offset
+``o`` lives in physical register ``(o + k) mod N``.  The kernel needs no
+unrolling and each value needs exactly one architectural name.
+
+Allocation is circular-arc packing on a helix.  Two values ``u, v`` with
+offsets ``o_u, o_v`` collide iff some pair of instances shares a physical
+register while both are live; writing ``d = o_u - o_v`` and
+``D = start_u - start_v``, that happens exactly when some integer
+``j ≡ d (mod N)`` satisfies ``-L_v < D - j*II < L_u``.  The allocator
+assigns offsets greedily (longest lifetime first, smallest conflict-free
+offset) and grows ``N`` from the MaxLive lower bound until everything
+fits — in practice within one or two registers of MaxLive, which is the
+comparison ``benchmarks/bench_rotating.py`` draws against MVE + coloring.
+
+Loop-invariant values do not rotate; they are pinned to dedicated
+non-rotating registers counted separately (as on Cydra-5/Itanium, where
+the register file splits into static and rotating portions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regalloc.liveness import CyclicLiveness, LiveRange
+
+
+@dataclass
+class RotatingAllocation:
+    """Result of rotating allocation for one kernel."""
+
+    ii: int
+    n_rotating: int                    # size of the rotating portion
+    n_static: int                      # pinned (loop-invariant) registers
+    offsets: dict[int, int] = field(default_factory=dict)   # rid -> offset
+    statics: dict[int, int] = field(default_factory=dict)   # rid -> index
+
+    @property
+    def total_registers(self) -> int:
+        return self.n_rotating + self.n_static
+
+    def physical_of(self, rid: int, iteration: int) -> str:
+        """Architectural location of ``rid``'s instance from ``iteration``."""
+        if rid in self.statics:
+            return f"s{self.statics[rid]}"
+        return f"rot{(self.offsets[rid] + iteration) % self.n_rotating}"
+
+
+def _conflicts(u: LiveRange, o_u: int, v: LiveRange, o_v: int, ii: int, n: int) -> bool:
+    """Do ``u`` at offset ``o_u`` and ``v`` at offset ``o_v`` ever share a
+    physical register while both live?  See module docs for the algebra."""
+    d = (o_u - o_v) % n
+    big_d = u.start - v.start
+    # instances k of u and m of v share a register iff j = m - k ≡ d
+    # (mod N); their lifetimes overlap iff D - L_v < j*II < D + L_u
+    lo = (big_d - v.lifetime) / ii
+    hi = (big_d + u.lifetime) / ii
+    # smallest j ≡ d (mod n) strictly greater than lo
+    import math
+
+    j = d + n * math.ceil((lo - d) / n + 1e-12)
+    while j <= lo + 1e-12:
+        j += n
+    return j < hi - 1e-12
+
+
+def allocate_rotating(
+    liveness: CyclicLiveness, max_extra: int = 16
+) -> RotatingAllocation:
+    """Allocate every value onto a rotating file; see module docs.
+
+    Raises ``RuntimeError`` if no allocation is found within
+    ``MaxLive + max_extra`` rotating registers (which would indicate a
+    bug — greedy circular-arc packing is near-optimal here).
+    """
+    ii = liveness.ii
+    rotating = [lr for lr in liveness if not lr.invariant]
+    invariants = [lr for lr in liveness if lr.invariant]
+
+    # MaxLive lower bound: steady-state live instances at each kernel row
+    window = [0] * ii
+    for lr in rotating:
+        # an instance born at (start mod ii) stays live `lifetime` cycles;
+        # steady-state live count at row r = number of (value, age) pairs
+        for age in range(lr.lifetime):
+            window[(lr.start + age) % ii] += 1
+    max_live = max(window, default=0)
+
+    order = sorted(rotating, key=lambda lr: (-lr.lifetime, lr.reg.rid))
+    for n in range(max(1, max_live), max(1, max_live) + max_extra + 1):
+        offsets: dict[int, int] = {}
+        placed: list[tuple[LiveRange, int]] = []
+        ok = True
+        for lr in order:
+            slot = None
+            for o in range(n):
+                if all(not _conflicts(lr, o, other, oo, ii, n) for other, oo in placed):
+                    slot = o
+                    break
+            if slot is None:
+                ok = False
+                break
+            offsets[lr.reg.rid] = slot
+            placed.append((lr, slot))
+        if ok:
+            return RotatingAllocation(
+                ii=ii,
+                n_rotating=n,
+                n_static=len(invariants),
+                offsets=offsets,
+                statics={
+                    lr.reg.rid: i
+                    for i, lr in enumerate(
+                        sorted(invariants, key=lambda l: l.reg.rid)
+                    )
+                },
+            )
+    raise RuntimeError(
+        f"rotating allocation failed within MaxLive+{max_extra} registers"
+    )
+
+
+def verify_rotating(alloc: RotatingAllocation, liveness: CyclicLiveness, trips: int = 8) -> None:
+    """Exhaustively check the allocation over ``trips`` iterations: no two
+    live instances may occupy one physical rotating register at any cycle."""
+    ii = alloc.ii
+    horizon = trips * ii + max(
+        (lr.lifetime for lr in liveness if not lr.invariant), default=1
+    )
+    occupancy: dict[tuple[int, int], tuple[int, int]] = {}
+    for lr in liveness:
+        if lr.invariant:
+            continue
+        for k in range(trips):
+            phys = (alloc.offsets[lr.reg.rid] + k) % alloc.n_rotating
+            for t in range(lr.lifetime):
+                cycle = lr.start + k * ii + t
+                if cycle >= horizon:
+                    break
+                key = (cycle, phys)
+                holder = (lr.reg.rid, k)
+                if key in occupancy and occupancy[key] != holder:
+                    raise AssertionError(
+                        f"rotating clash at cycle {cycle}, reg rot{phys}: "
+                        f"{occupancy[key]} vs {holder}"
+                    )
+                occupancy[key] = holder

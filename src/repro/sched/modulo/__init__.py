@@ -1,0 +1,16 @@
+"""Iterative modulo scheduling (Rau, MICRO-27), the software-pipelining
+engine the paper builds on: "our implementation is based upon Rau's"
+(Section 2)."""
+
+from repro.sched.modulo.scheduler import ModuloScheduler, SchedulingError, modulo_schedule
+from repro.sched.modulo.swing import swing_modulo_schedule
+from repro.sched.modulo.kernel import PipelineExpansion, expand_pipeline
+
+__all__ = [
+    "ModuloScheduler",
+    "SchedulingError",
+    "modulo_schedule",
+    "swing_modulo_schedule",
+    "PipelineExpansion",
+    "expand_pipeline",
+]

@@ -1,0 +1,102 @@
+"""Pipeline expansion: prelude / kernel / postlude.
+
+"After a schedule has been found, code to set up the software pipeline
+(prelude) and drain the pipeline (postlude) are added" (Section 2).  The
+expansion materializes the full issue table for a given trip count —
+iteration ``k`` issues operation ``o`` at absolute cycle ``k * II +
+t(o)`` — and labels each cycle as prelude, kernel or postlude.  The
+validating simulator executes this table directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.operations import Operation
+from repro.sched.schedule import KernelSchedule
+
+
+@dataclass(frozen=True)
+class IssueSlot:
+    """One operation instance in the expanded pipeline."""
+
+    cycle: int
+    op: Operation
+    iteration: int
+
+
+@dataclass
+class PipelineExpansion:
+    """The fully unrolled software pipeline for a concrete trip count."""
+
+    kernel: KernelSchedule
+    trip_count: int
+    slots: list[IssueSlot]
+    prelude_end: int    # first cycle at which the pipeline is in steady state
+    postlude_start: int  # first cycle after the last full kernel iteration
+
+    @property
+    def total_cycles(self) -> int:
+        return self.kernel.total_cycles(self.trip_count)
+
+    def issues_at(self, cycle: int) -> list[IssueSlot]:
+        return [s for s in self.slots if s.cycle == cycle]
+
+    def phase_of(self, cycle: int) -> str:
+        if cycle < self.prelude_end:
+            return "prelude"
+        if cycle < self.postlude_start:
+            return "kernel"
+        return "postlude"
+
+    def format(self, max_cycles: int = 64) -> str:
+        from repro.ir.printer import format_operation
+
+        by_cycle: dict[int, list[IssueSlot]] = {}
+        for s in self.slots:
+            by_cycle.setdefault(s.cycle, []).append(s)
+        lines = [
+            f"pipeline: trip={self.trip_count} II={self.kernel.ii} "
+            f"total={self.total_cycles} cycles"
+        ]
+        for cycle in range(min(self.total_cycles, max_cycles)):
+            issues = by_cycle.get(cycle, [])
+            body = " ; ".join(
+                f"{format_operation(s.op)} <i{s.iteration}>" for s in issues
+            ) or "nop"
+            lines.append(f"{cycle:4d} [{self.phase_of(cycle):8s}]: {body}")
+        if self.total_cycles > max_cycles:
+            lines.append(f"... ({self.total_cycles - max_cycles} more cycles)")
+        return "\n".join(lines)
+
+
+def expand_pipeline(kernel: KernelSchedule, trip_count: int) -> PipelineExpansion:
+    """Unroll ``kernel`` for ``trip_count`` iterations.
+
+    When the trip count is smaller than the stage count the pipeline never
+    reaches steady state; the expansion is still correct (the kernel phase
+    is empty).
+    """
+    if trip_count < 1:
+        raise ValueError("trip count must be at least 1")
+    slots: list[IssueSlot] = []
+    for k in range(trip_count):
+        base = k * kernel.ii
+        for op in kernel.loop.ops:
+            slots.append(IssueSlot(cycle=base + kernel.time_of(op), op=op, iteration=k))
+    slots.sort(key=lambda s: (s.cycle, s.op.op_id))
+
+    stages = kernel.stage_count
+    prelude_end = min((stages - 1) * kernel.ii, trip_count * kernel.ii)
+    postlude_start = max(prelude_end, (trip_count - stages + 1) * kernel.ii + (stages - 1) * kernel.ii)
+    # simplification: steady state ends when the last iteration has issued
+    # everything up to the final stage boundary
+    postlude_start = max(prelude_end, (trip_count - 1) * kernel.ii + (stages - 1) * kernel.ii)
+    postlude_start = min(postlude_start, kernel.total_cycles(trip_count))
+    return PipelineExpansion(
+        kernel=kernel,
+        trip_count=trip_count,
+        slots=slots,
+        prelude_end=prelude_end,
+        postlude_start=postlude_start,
+    )

@@ -1,0 +1,175 @@
+"""Rau's iterative modulo scheduling.
+
+The algorithm (Section 2 of the paper; Rau, MICRO-27 1994):
+
+1. compute ``MinII = max(ResII, RecII)``;
+2. for each candidate ``II`` starting at MinII, attempt to place all
+   operations within an operation budget;
+3. operations are picked highest-priority first (HeightR at the current
+   II); each op's earliest start comes from its *currently scheduled*
+   predecessors; the op is placed in the first resource-free slot of
+   ``[estart, estart + II)``, or **force-placed** (evicting resource
+   conflicts and violated scheduled successors) when no slot is free;
+4. if the budget runs out, ``II`` is bumped and the attempt restarts.
+
+A fully sequential kernel is always feasible at ``II = sum(latencies)``,
+so the search terminates; exceeding that bound raises
+:class:`SchedulingError` (it would indicate a resource-model bug).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.ddg.analysis import longest_path_heights, min_ii, recurrence_ii, resource_ii
+from repro.ddg.graph import DDG
+from repro.ir.block import Loop
+from repro.machine.machine import MachineDescription
+from repro.sched.resources import ModuloReservationTable
+from repro.sched.schedule import KernelSchedule
+
+DEFAULT_BUDGET_RATIO = 12
+"""Scheduling attempts allowed per operation per II (Rau suggests a small
+constant multiple of the operation count)."""
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no legal modulo schedule is found within bounds."""
+
+
+@dataclass
+class ModuloScheduler:
+    """Stateful scheduler; :func:`modulo_schedule` is the one-shot API."""
+
+    machine: MachineDescription
+    budget_ratio: int = DEFAULT_BUDGET_RATIO
+    max_ii: int | None = None
+
+    #: filled by the last ``schedule`` call, for instrumentation/benches
+    stats: dict = field(default_factory=dict)
+
+    def schedule(self, loop: Loop, ddg: DDG) -> KernelSchedule:
+        if len(ddg.ops) == 0:
+            raise ValueError("cannot pipeline an empty loop")
+        res_ii = resource_ii(ddg, self.machine)
+        rec_ii = recurrence_ii(ddg)
+        start_ii = max(res_ii, rec_ii)
+        guaranteed_ii = max(
+            start_ii, sum(self.machine.latency(op) for op in ddg.ops)
+        )
+        cap = self.max_ii if self.max_ii is not None else guaranteed_ii
+        if cap < start_ii:
+            raise SchedulingError(
+                f"{loop.name!r}: max_ii={cap} is below MinII={start_ii}"
+            )
+
+        attempts = 0
+        for ii in range(start_ii, cap + 1):
+            attempts += 1
+            times = self._try_ii(ddg, ii)
+            if times is not None:
+                self.stats = {
+                    "res_ii": res_ii,
+                    "rec_ii": rec_ii,
+                    "min_ii": start_ii,
+                    "achieved_ii": ii,
+                    "ii_attempts": attempts,
+                }
+                return KernelSchedule(
+                    machine=self.machine, loop=loop, ii=ii, times=times
+                )
+        raise SchedulingError(
+            f"no modulo schedule for {loop.name!r} up to II={cap} "
+            f"(MinII={start_ii}); raise max_ii or budget_ratio"
+        )
+
+    # ------------------------------------------------------------------
+    def _try_ii(self, ddg: DDG, ii: int) -> dict[int, int] | None:
+        try:
+            heights = longest_path_heights(ddg, ii=ii)
+        except ValueError:
+            return None  # positive cycle: II below RecII for this subgraph
+
+        order_index = {op.op_id: i for i, op in enumerate(ddg.ops)}
+        by_id = {op.op_id: op for op in ddg.ops}
+
+        mrt = ModuloReservationTable(self.machine, ii)
+        times: dict[int, int] = {}
+        prev_time: dict[int, int] = {}
+        budget = self.budget_ratio * len(ddg.ops)
+
+        # max-heap by (height, earlier-body-order) via negation
+        def push(heap, op):
+            heapq.heappush(heap, (-heights[op.op_id], order_index[op.op_id], op.op_id))
+
+        heap: list[tuple[int, int, int]] = []
+        for op in ddg.ops:
+            push(heap, op)
+
+        while heap and budget > 0:
+            _, _, oid = heapq.heappop(heap)
+            if oid in times:
+                continue  # stale entry
+            op = by_id[oid]
+            budget -= 1
+
+            estart = 0
+            for dep in ddg.predecessors(op):
+                src_t = times.get(dep.src.op_id)
+                if src_t is None:
+                    continue
+                estart = max(estart, src_t + dep.delay - ii * dep.distance)
+            estart = max(estart, 0)
+
+            slot = None
+            for t in range(estart, estart + ii):
+                if mrt.fits(op, t):
+                    slot = t
+                    break
+            forced = slot is None
+            if forced:
+                prev = prev_time.get(oid)
+                slot = estart if prev is None or prev + 1 < estart else prev + 1
+
+            if forced:
+                for victim_id in mrt.conflicting_ops(op, slot, times):
+                    mrt.remove(by_id[victim_id])
+                    del times[victim_id]
+                    push(heap, by_id[victim_id])
+                    if not mrt.fits(op, slot):
+                        continue
+                    break
+
+            mrt.place(op, slot)
+            times[oid] = slot
+            prev_time[oid] = slot
+
+            # evict scheduled successors whose dependence is now violated
+            for dep in ddg.successors(op):
+                dst_t = times.get(dep.dst.op_id)
+                if dst_t is None or dep.dst.op_id == oid:
+                    continue
+                if dst_t < slot + dep.delay - ii * dep.distance:
+                    mrt.remove(dep.dst)
+                    del times[dep.dst.op_id]
+                    push(heap, dep.dst)
+            # self-edges: placement at estart already satisfies them since
+            # estart accounted for all scheduled predecessors including self
+
+        if len(times) == len(ddg.ops):
+            return times
+        return None
+
+
+def modulo_schedule(
+    loop: Loop,
+    ddg: DDG,
+    machine: MachineDescription,
+    budget_ratio: int = DEFAULT_BUDGET_RATIO,
+    max_ii: int | None = None,
+) -> KernelSchedule:
+    """Software-pipeline ``loop`` onto ``machine``; see :class:`ModuloScheduler`."""
+    return ModuloScheduler(machine, budget_ratio=budget_ratio, max_ii=max_ii).schedule(
+        loop, ddg
+    )

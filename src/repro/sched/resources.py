@@ -1,0 +1,187 @@
+"""Per-cycle issue resources for clustered VLIWs.
+
+One cycle of the machine offers:
+
+* ``fus_per_cluster`` general-purpose slots in each cluster,
+* under the copy-unit model, ``copy_ports_per_cluster`` copy slots per
+  cluster plus ``n_buses`` machine-wide bus slots.
+
+Which resources an operation consumes is decided by
+:func:`op_resource_demand`: ordinary operations (and embedded-model
+copies) take one FU slot in their cluster; copy-unit copies take one copy
+port in their destination cluster and one bus.  Operations without a
+cluster assignment — the monolithic ideal machine — draw from cluster 0,
+whose FU count is the full machine width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.operations import Operation
+from repro.machine.machine import CopyModel, MachineDescription
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceDemand:
+    """What one operation consumes in its issue cycle."""
+
+    fu_cluster: int | None = None     # one FU slot in this cluster
+    copy_cluster: int | None = None   # one copy port in this cluster
+    bus: bool = False                 # one machine-wide bus
+
+
+def op_resource_demand(op: Operation, machine: MachineDescription) -> ResourceDemand:
+    """Map an operation to its issue-cycle resource demand."""
+    cluster = op.cluster if op.cluster is not None else 0
+    machine.validate_cluster(cluster if machine.is_clustered else None)
+    if op.is_copy and machine.copy_model is CopyModel.COPY_UNIT:
+        return ResourceDemand(copy_cluster=cluster, bus=True)
+    return ResourceDemand(fu_cluster=cluster)
+
+
+@dataclass
+class SlotPool:
+    """Free-slot counters for a single cycle."""
+
+    machine: MachineDescription
+    fu_free: list[int] = field(default_factory=list)
+    copy_free: list[int] = field(default_factory=list)
+    bus_free: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fu_free:
+            self.fu_free = [self.machine.fus_per_cluster] * self.machine.n_clusters
+        if not self.copy_free:
+            ports = (
+                self.machine.copy_ports_per_cluster
+                if self.machine.copy_model is CopyModel.COPY_UNIT
+                else 0
+            )
+            self.copy_free = [ports] * self.machine.n_clusters
+        if self.bus_free == 0:
+            self.bus_free = self.machine.n_buses
+
+    def fits(self, demand: ResourceDemand) -> bool:
+        if demand.fu_cluster is not None and self.fu_free[demand.fu_cluster] < 1:
+            return False
+        if demand.copy_cluster is not None and self.copy_free[demand.copy_cluster] < 1:
+            return False
+        if demand.bus and self.bus_free < 1:
+            return False
+        return True
+
+    def take(self, demand: ResourceDemand) -> None:
+        if not self.fits(demand):
+            raise ValueError("resource over-subscription")
+        if demand.fu_cluster is not None:
+            self.fu_free[demand.fu_cluster] -= 1
+        if demand.copy_cluster is not None:
+            self.copy_free[demand.copy_cluster] -= 1
+        if demand.bus:
+            self.bus_free -= 1
+
+    def release(self, demand: ResourceDemand) -> None:
+        if demand.fu_cluster is not None:
+            self.fu_free[demand.fu_cluster] += 1
+        if demand.copy_cluster is not None:
+            self.copy_free[demand.copy_cluster] += 1
+        if demand.bus:
+            self.bus_free += 1
+
+
+@dataclass
+class ReservationTable:
+    """Growable cycle-indexed reservation table for acyclic scheduling."""
+
+    machine: MachineDescription
+    rows: list[SlotPool] = field(default_factory=list)
+    _placed: dict[int, tuple[int, ResourceDemand]] = field(default_factory=dict)
+
+    def _row(self, cycle: int) -> SlotPool:
+        while len(self.rows) <= cycle:
+            self.rows.append(SlotPool(self.machine))
+        return self.rows[cycle]
+
+    def fits(self, op: Operation, cycle: int) -> bool:
+        return self._row(cycle).fits(op_resource_demand(op, self.machine))
+
+    def place(self, op: Operation, cycle: int) -> None:
+        if op.op_id in self._placed:
+            raise ValueError(f"operation already placed: {op!r}")
+        demand = op_resource_demand(op, self.machine)
+        self._row(cycle).take(demand)
+        self._placed[op.op_id] = (cycle, demand)
+
+    def cycle_of(self, op: Operation) -> int | None:
+        entry = self._placed.get(op.op_id)
+        return entry[0] if entry else None
+
+    @property
+    def length(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class ModuloReservationTable:
+    """Fixed-II modulo reservation table (Rau, Section 2).
+
+    Row ``t mod II`` must accommodate every operation issued at absolute
+    time ``t``; placement and removal support the iterative scheduler's
+    eviction mechanism.
+    """
+
+    machine: MachineDescription
+    ii: int
+    rows: list[SlotPool] = field(init=False)
+    _placed: dict[int, tuple[int, ResourceDemand]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise ValueError("II must be positive")
+        self.rows = [SlotPool(self.machine) for _ in range(self.ii)]
+
+    def row_of(self, time: int) -> SlotPool:
+        return self.rows[time % self.ii]
+
+    def fits(self, op: Operation, time: int) -> bool:
+        return self.row_of(time).fits(op_resource_demand(op, self.machine))
+
+    def place(self, op: Operation, time: int) -> None:
+        if op.op_id in self._placed:
+            raise ValueError(f"operation already placed: {op!r}")
+        demand = op_resource_demand(op, self.machine)
+        self.row_of(time).take(demand)
+        self._placed[op.op_id] = (time, demand)
+
+    def remove(self, op: Operation) -> int:
+        """Unplace ``op``; returns the time it had been scheduled at."""
+        time, demand = self._placed.pop(op.op_id)
+        self.row_of(time).release(demand)
+        return time
+
+    def is_placed(self, op: Operation) -> bool:
+        return op.op_id in self._placed
+
+    def time_of(self, op: Operation) -> int:
+        return self._placed[op.op_id][0]
+
+    def conflicting_ops(self, op: Operation, time: int, placed_times: dict[int, int]) -> list[int]:
+        """Op-ids currently occupying the resource ``op`` needs in row
+        ``time mod II`` — candidates for eviction when placement is forced."""
+        demand = op_resource_demand(op, self.machine)
+        row = time % self.ii
+        out: list[int] = []
+        for oid, (t, d) in self._placed.items():
+            if t % self.ii != row:
+                continue
+            same_fu = (
+                demand.fu_cluster is not None and d.fu_cluster == demand.fu_cluster
+            )
+            same_copy = (
+                demand.copy_cluster is not None and d.copy_cluster == demand.copy_cluster
+            )
+            same_bus = demand.bus and d.bus
+            if same_fu or same_copy or same_bus:
+                out.append(oid)
+        return out

@@ -1,0 +1,152 @@
+"""Schedule containers.
+
+:class:`LinearSchedule` is an acyclic block schedule (the ideal schedule
+of Section 4.1 is one of these for the whole-function path, or the flat
+view of a kernel).  :class:`KernelSchedule` is a modulo schedule: each
+operation has an absolute issue time ``t`` in the flat one-iteration
+schedule; the kernel row is ``t mod II`` and the stage ``t // II``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ir.block import Loop
+from repro.ir.operations import Operation
+from repro.machine.machine import CopyModel, MachineDescription
+
+
+@dataclass
+class LinearSchedule:
+    """An acyclic schedule: op_id -> issue cycle."""
+
+    machine: MachineDescription
+    ops: list[Operation]
+    times: dict[int, int]
+
+    def __post_init__(self) -> None:
+        missing = [op for op in self.ops if op.op_id not in self.times]
+        if missing:
+            raise ValueError(f"unscheduled operations: {missing[:3]!r}...")
+
+    @property
+    def length(self) -> int:
+        """Number of instructions (cycles) in the schedule, including
+        drain time for the last operation's latency."""
+        if not self.ops:
+            return 0
+        return max(self.times[op.op_id] + self.machine.latency(op) for op in self.ops)
+
+    @property
+    def issue_length(self) -> int:
+        """Cycles spanned by issue slots only (last issue cycle + 1)."""
+        if not self.ops:
+            return 0
+        return max(self.times.values()) + 1
+
+    def time_of(self, op: Operation) -> int:
+        return self.times[op.op_id]
+
+    def instructions(self) -> Iterator[tuple[int, list[Operation]]]:
+        """Yield (cycle, ops issued that cycle) in cycle order."""
+        by_cycle: dict[int, list[Operation]] = {}
+        for op in self.ops:
+            by_cycle.setdefault(self.times[op.op_id], []).append(op)
+        for cycle in range(self.issue_length):
+            yield cycle, sorted(by_cycle.get(cycle, []), key=lambda o: o.op_id)
+
+    def format(self) -> str:
+        from repro.ir.printer import format_operation
+
+        lines = []
+        for cycle, ops in self.instructions():
+            body = " ; ".join(format_operation(o) for o in ops) or "nop"
+            lines.append(f"{cycle:4d}: {body}")
+        return "\n".join(lines)
+
+
+@dataclass
+class KernelSchedule:
+    """A modulo schedule of one loop iteration at initiation interval II."""
+
+    machine: MachineDescription
+    loop: Loop
+    ii: int
+    times: dict[int, int]  # op_id -> absolute issue time in the flat schedule
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise ValueError("II must be positive")
+        for op in self.loop.ops:
+            if op.op_id not in self.times:
+                raise ValueError(f"kernel schedule missing {op!r}")
+            if self.times[op.op_id] < 0:
+                raise ValueError(f"negative issue time for {op!r}")
+
+    # ------------------------------------------------------------------
+    def time_of(self, op: Operation) -> int:
+        return self.times[op.op_id]
+
+    def row_of(self, op: Operation) -> int:
+        return self.times[op.op_id] % self.ii
+
+    def stage_of(self, op: Operation) -> int:
+        return self.times[op.op_id] // self.ii
+
+    @property
+    def stage_count(self) -> int:
+        """Number of pipeline stages (kernel overlap depth)."""
+        return max(self.stage_of(op) for op in self.loop.ops) + 1
+
+    @property
+    def flat_length(self) -> int:
+        """Length of the flat one-iteration schedule including latencies."""
+        return max(
+            self.times[op.op_id] + self.machine.latency(op) for op in self.loop.ops
+        )
+
+    def kernel_rows(self) -> list[list[Operation]]:
+        """The II kernel instructions; row r holds ops with t mod II == r."""
+        rows: list[list[Operation]] = [[] for _ in range(self.ii)]
+        for op in self.loop.ops:
+            rows[self.row_of(op)].append(op)
+        for row in rows:
+            row.sort(key=lambda o: o.op_id)
+        return rows
+
+    # ------------------------------------------------------------------
+    # metrics (Section 6.2)
+    # ------------------------------------------------------------------
+    def counted_ops(self) -> int:
+        """Operations counted for IPC: the paper counts copies "as part of
+        the IPC" in the embedded model "but not in the copy-unit model,
+        where we assume additional communication hardware obviates the
+        need for explicit copy instructions"."""
+        if self.machine.copy_model is CopyModel.COPY_UNIT:
+            return sum(1 for op in self.loop.ops if not op.is_copy)
+        return len(self.loop.ops)
+
+    @property
+    def ipc(self) -> float:
+        """Kernel operations per cycle."""
+        return self.counted_ops() / self.ii
+
+    def total_cycles(self, trip_count: int) -> int:
+        """Execution time of the full pipeline for ``trip_count`` iterations:
+        the last iteration starts at (trip-1)*II and drains the flat
+        schedule."""
+        if trip_count < 1:
+            return 0
+        return (trip_count - 1) * self.ii + self.flat_length
+
+    def format(self) -> str:
+        from repro.ir.printer import format_operation
+
+        lines = [f"kernel II={self.ii} stages={self.stage_count}"]
+        for r, ops in enumerate(self.kernel_rows()):
+            body = " ; ".join(
+                f"{format_operation(o)} (s{self.stage_of(o)})" for o in ops
+            ) or "nop"
+            lines.append(f"{r:4d}: {body}")
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Schedule legality checking.
+
+Independent re-verification of what the schedulers claim: every
+dependence satisfied (modulo the II for kernels) and no issue resource
+over-subscribed in any cycle/row.  The test suite and the end-to-end
+pipeline both run these after every scheduling pass, so a scheduler bug
+cannot silently leak into the paper-reproduction numbers.
+"""
+
+from __future__ import annotations
+
+from repro.ddg.graph import DDG
+from repro.sched.resources import ModuloReservationTable, ReservationTable
+from repro.sched.schedule import KernelSchedule, LinearSchedule
+
+
+class ScheduleValidationError(AssertionError):
+    """A schedule violates a dependence or resource constraint."""
+
+
+def validate_kernel_schedule(schedule: KernelSchedule, ddg: DDG) -> None:
+    """Raise :class:`ScheduleValidationError` unless ``schedule`` is legal."""
+    ii = schedule.ii
+    for dep in ddg.edges():
+        t_src = schedule.times[dep.src.op_id]
+        t_dst = schedule.times[dep.dst.op_id]
+        if t_dst < t_src + dep.delay - ii * dep.distance:
+            raise ScheduleValidationError(
+                f"dependence violated at II={ii}: {dep!r} "
+                f"(t_src={t_src}, t_dst={t_dst})"
+            )
+    # resources: re-place everything into a fresh MRT
+    mrt = ModuloReservationTable(schedule.machine, ii)
+    for op in schedule.loop.ops:
+        t = schedule.times[op.op_id]
+        if not mrt.fits(op, t):
+            raise ScheduleValidationError(
+                f"resource over-subscription in kernel row {t % ii}: {op!r}"
+            )
+        mrt.place(op, t)
+    # cluster sanity
+    if schedule.machine.is_clustered:
+        for op in schedule.loop.ops:
+            if op.cluster is None:
+                raise ScheduleValidationError(
+                    f"operation without cluster on clustered machine: {op!r}"
+                )
+            schedule.machine.validate_cluster(op.cluster)
+
+
+def validate_linear_schedule(schedule: LinearSchedule, ddg: DDG) -> None:
+    """Acyclic-schedule counterpart of :func:`validate_kernel_schedule`."""
+    for dep in ddg.edges():
+        if dep.distance != 0:
+            raise ScheduleValidationError("linear schedule given a cyclic DDG")
+        t_src = schedule.times[dep.src.op_id]
+        t_dst = schedule.times[dep.dst.op_id]
+        if t_dst < t_src + dep.delay:
+            raise ScheduleValidationError(
+                f"dependence violated: {dep!r} (t_src={t_src}, t_dst={t_dst})"
+            )
+    table = ReservationTable(schedule.machine)
+    for op in schedule.ops:
+        t = schedule.times[op.op_id]
+        if not table.fits(op, t):
+            raise ScheduleValidationError(
+                f"resource over-subscription at cycle {t}: {op!r}"
+            )
+        table.place(op, t)

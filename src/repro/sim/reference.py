@@ -1,0 +1,108 @@
+"""Sequential reference interpreter.
+
+Executes a loop's iterations one after another in body order — the
+source-level meaning the compiled pipeline must preserve.  Register reads
+see the register's *current* content, so a use that textually precedes its
+definition naturally observes the previous iteration's value, matching the
+DDG's loop-carried-dependence convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import Loop
+from repro.ir.operations import Operation
+from repro.ir.registers import SymbolicRegister
+from repro.ir.types import DataType, Immediate
+from repro.sim.values import evaluate, seed_memory, seed_register
+
+Value = float | int
+MemKey = tuple[str, int]
+
+
+@dataclass
+class MachineState:
+    """Observable state after a run: what equivalence compares."""
+
+    memory: dict[MemKey, Value] = field(default_factory=dict)
+    registers: dict[int, Value] = field(default_factory=dict)
+    store_count: int = 0
+
+    def live_out_values(self, loop: Loop) -> dict[str, Value]:
+        return {
+            reg.name: self.registers[reg.rid]
+            for reg in sorted(loop.live_out, key=lambda r: r.rid)
+        }
+
+
+@dataclass
+class ReferenceInterpreter:
+    """Interprets one loop for a fixed trip count."""
+
+    loop: Loop
+    trip_count: int
+    initial_registers: dict[int, Value] | None = None
+
+    def run(self) -> MachineState:
+        state = MachineState()
+        regs = state.registers
+        # seed live-ins (and provide a defined value for any register read
+        # before its first write, e.g. accumulators in iteration 0)
+        for reg in self.loop.registers():
+            regs[reg.rid] = seed_register(reg)
+        if self.initial_registers:
+            regs.update(self.initial_registers)
+
+        for k in range(self.trip_count):
+            for op in self.loop.ops:
+                self._step(op, k, state)
+        return state
+
+    # ------------------------------------------------------------------
+    def _step(self, op: Operation, k: int, state: MachineState) -> None:
+        regs = state.registers
+
+        def resolve(reg: SymbolicRegister) -> Value:
+            return regs[reg.rid]
+
+        def src_values() -> list[Value]:
+            out: list[Value] = []
+            for s in op.sources:
+                if isinstance(s, Immediate):
+                    out.append(int(s.value) if s.dtype is DataType.INT else float(s.value))
+                else:
+                    out.append(resolve(s))
+            return out
+
+        if op.reads_mem:
+            assert op.mem is not None and op.dest is not None
+            index = op.mem.address(k)
+            key = (op.mem.array, index)
+            if key not in state.memory:
+                state.memory[key] = seed_memory(
+                    op.mem.array, index, op.dest.dtype is DataType.FLOAT
+                )
+            regs[op.dest.rid] = state.memory[key]
+            return
+        if op.writes_mem:
+            assert op.mem is not None
+            index = op.mem.address(k)
+            (value,) = src_values()
+            state.memory[(op.mem.array, index)] = value
+            state.store_count += 1
+            return
+
+        result = evaluate(op, src_values())
+        assert op.dest is not None
+        regs[op.dest.rid] = result
+
+
+def run_reference(
+    loop: Loop,
+    trip_count: int | None = None,
+    initial_registers: dict[int, Value] | None = None,
+) -> MachineState:
+    """Run the sequential semantics of ``loop``."""
+    trips = trip_count if trip_count is not None else loop.trip_count_hint
+    return ReferenceInterpreter(loop, trips, initial_registers).run()

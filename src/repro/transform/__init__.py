@@ -1,0 +1,13 @@
+"""Loop transformations.
+
+Section 7: "We will also investigate other loop optimizations that can
+increase data-independent parallelism in innermost loops."  The classic
+such optimization is unrolling — replicating the body so independent
+iterations' work co-schedules — implemented here with full register
+renaming and strided memory-reference rewriting, and validated by the
+simulator (an unrolled loop must compute exactly what the original does).
+"""
+
+from repro.transform.unroll import unroll_loop
+
+__all__ = ["unroll_loop"]

@@ -1,0 +1,130 @@
+"""Loop unrolling with register renaming.
+
+``unroll_loop(loop, factor=U)`` produces a loop whose iteration ``K``
+performs the work of original iterations ``U*K .. U*K + U - 1``:
+
+* the body is replicated ``U`` times; replica ``u``'s array references
+  become ``array[U*i + (u + original_offset)]`` (stride ``U``);
+* registers defined in the body are renamed per replica
+  (``f3`` -> ``f3@0 .. f3@U-1``), and each replica's *loop-carried* reads
+  (uses that textually precede their definition, i.e. previous-iteration
+  values) resolve to the **previous replica's** instance — replica 0
+  reads replica ``U-1``'s register, which is defined later in the new
+  body and therefore still carries distance 1, exactly one new-loop
+  iteration back: original iteration ``U*K - 1``;
+* loop-invariant live-ins are shared untouched; live-outs map to the last
+  replica's instance (for accumulators this is the running value after
+  all ``U`` original iterations, so reduction semantics are preserved —
+  the simulator equivalence tests pin this down).
+
+The transformation multiplies data-independent parallelism available to
+the modulo scheduler at the cost of register pressure — the trade
+``benchmarks/bench_unroll.py`` measures.
+"""
+
+from __future__ import annotations
+
+
+from repro.ir.block import BasicBlock, Loop
+from repro.ir.operations import Operation
+from repro.ir.registers import RegisterFactory, SymbolicRegister
+from repro.ir.types import MemRef
+from repro.ir.verify import verify_loop
+
+
+def unroll_loop(loop: Loop, factor: int) -> Loop:
+    """Return ``loop`` unrolled ``factor`` times (factor 1 = fresh copy).
+
+    The trip-count hint is divided accordingly (minimum 1); callers
+    simulating both versions should run the original for
+    ``factor * trips`` iterations to compare equal work.
+    """
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+
+    factory = RegisterFactory()
+    defined = {op.dest.rid for op in loop.ops if op.dest is not None}
+
+    # replica-local names for every body-defined register
+    renames: list[dict[int, SymbolicRegister]] = []
+    for u in range(factor):
+        table: dict[int, SymbolicRegister] = {}
+        for op in loop.ops:
+            if op.dest is not None and op.dest.rid not in table:
+                table[op.dest.rid] = factory.new(
+                    op.dest.dtype, name=f"{op.dest.name}@{u}"
+                )
+        renames.append(table)
+
+    body: list[Operation] = []
+    for u in range(factor):
+        seen_defs: set[int] = set()
+        for op in loop.ops:
+            body.append(_rewrite_op(op, u, factor, renames, defined, seen_defs))
+            if op.dest is not None:
+                seen_defs.add(op.dest.rid)
+
+    live_in = set(loop.live_in)
+    live_out = {
+        renames[factor - 1][reg.rid] if reg.rid in defined else reg
+        for reg in loop.live_out
+    }
+    new_loop = Loop(
+        name=f"{loop.name}.x{factor}",
+        body=BasicBlock(name=f"{loop.name}.x{factor}.body", ops=body, depth=loop.depth),
+        depth=loop.depth,
+        factory=factory,
+        live_in=live_in,
+        live_out=live_out,
+        trip_count_hint=max(1, loop.trip_count_hint // factor),
+    )
+    verify_loop(new_loop)
+    return new_loop
+
+
+def _rewrite_op(
+    op: Operation,
+    u: int,
+    factor: int,
+    renames: list[dict[int, SymbolicRegister]],
+    defined: set[int],
+    seen_defs: set[int],
+) -> Operation:
+    new_sources = []
+    for s in op.sources:
+        if isinstance(s, SymbolicRegister) and s.rid in defined:
+            if s.rid in seen_defs or (op.dest is not None and s.rid == op.dest.rid):
+                # same-replica value, except self-uses (accumulators) which
+                # read the previous instance: previous replica, or the last
+                # replica of the previous new iteration for u == 0
+                if op.dest is not None and s.rid == op.dest.rid and s.rid not in seen_defs:
+                    new_sources.append(renames[(u - 1) % factor][s.rid])
+                else:
+                    new_sources.append(renames[u][s.rid])
+            else:
+                # textual use-before-def: previous original iteration
+                new_sources.append(renames[(u - 1) % factor][s.rid])
+        else:
+            new_sources.append(s)
+
+    new_mem: MemRef | None = None
+    if op.mem is not None:
+        if op.mem.scalar:
+            new_mem = op.mem
+        else:
+            # original iteration k = U*K + u touches stride*k + offset
+            #   = (stride*U)*K + (stride*u + offset)
+            new_mem = MemRef(
+                array=op.mem.array,
+                offset=op.mem.stride * u + op.mem.offset,
+                scalar=False,
+                stride=op.mem.stride * factor,
+            )
+
+    new_dest = renames[u][op.dest.rid] if op.dest is not None else None
+    return Operation(
+        opcode=op.opcode,
+        dest=new_dest,
+        sources=tuple(new_sources),
+        mem=new_mem,
+    )

@@ -1,0 +1,35 @@
+"""Workloads: named kernels, the Section 4.2 example, the synthetic
+Spec95-like generator and the 211-loop corpus.
+
+The paper's evaluation "software pipelined 211 loops extracted from Spec
+95 ... all single-block innermost loops" (Sections 6 and 6.3).  Those
+Fortran bodies are not available; :mod:`repro.workloads.synthetic`
+generates loops with the same observable statistics (operation mix,
+recurrence structure, size distribution) calibrated so the ideal 16-wide
+IPC averages ~8.6 as Table 1 reports, and
+:mod:`repro.workloads.corpus` freezes the deterministic 211-loop suite
+the benches run.
+"""
+
+from repro.workloads.kernels import (
+    NAMED_KERNELS,
+    make_kernel,
+    xpos_example_block,
+    xpos_example_function,
+)
+from repro.workloads.synthetic import LoopProfile, SyntheticLoopGenerator
+from repro.workloads.functions import SyntheticFunctionGenerator, function_corpus
+from repro.workloads.corpus import spec95_corpus, corpus_summary
+
+__all__ = [
+    "NAMED_KERNELS",
+    "make_kernel",
+    "xpos_example_block",
+    "xpos_example_function",
+    "LoopProfile",
+    "SyntheticLoopGenerator",
+    "SyntheticFunctionGenerator",
+    "function_corpus",
+    "spec95_corpus",
+    "corpus_summary",
+]

@@ -1,0 +1,92 @@
+"""Synthetic whole functions for the whole-program partitioning path.
+
+The paper repeatedly leans on the authors' earlier whole-program result
+("on whole programs for an 8-wide VLIW ... roughly a 10% degradation",
+Section 7; ~11% on a 4-wide, 4-bank machine, Section 3).  Reproducing
+that experiment needs *functions* — multiple basic blocks at different
+nesting depths with values flowing between them — which this generator
+produces deterministically:
+
+* an entry block of integer setup (bases, bounds, scaled indices);
+* one to three loop-body blocks at depths 1-3 with fp expression chains,
+  consuming entry-block values (base addresses as operands) and function
+  invariants;
+* an exit block consuming reduction results from the bodies;
+* cross-block register flow both downward (entry -> bodies -> exit) and
+  between bodies (a value computed in one body read by a later one).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.function import Function
+from repro.ir.registers import SymbolicRegister
+
+
+class SyntheticFunctionGenerator:
+    """Deterministic (seeded) multi-block function generator."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def generate(self, name: str) -> Function:
+        rng = self._rng
+        fn = Function(name)
+
+        # entry block: integer setup whose results later blocks consume
+        entry = LoopBuilder(f"{name}_entry", depth=0)
+        exported: list[SymbolicRegister] = []
+        for j in range(rng.randint(2, 4)):
+            v = entry.load(f"rbase{j}", f"arg{j}", scalar=True).dest
+            w = entry.shl(f"rscaled{j}", f"rbase{j}", rng.randint(1, 3)).dest
+            entry.store(f"rscaled{j}", f"setup{j}", scalar=True)
+            exported.append(w)
+        fn.add_block(entry.build_block(depth=0))
+
+        # body blocks: fp chains at depths 1-3, consuming exports
+        body_results: list[SymbolicRegister] = []
+        n_bodies = rng.randint(1, 3)
+        for b in range(n_bodies):
+            depth = rng.randint(1, 3)
+            body = LoopBuilder(f"{name}_body{b}", depth=depth)
+            # a Horner-style serial spine: whole-program code is latency-
+            # rather than issue-bound (each fp op waits on the previous),
+            # which is what keeps the authors' reported whole-program
+            # degradation near 10% — the spine's latency hides the narrow
+            # clusters' limited issue bandwidth
+            x = body.fload(f"fb{b}_x", f"x{b}").dest
+            coeff = body.fload(f"fb{b}_c", f"c{b}").dest
+            chain_out = body.fmul(f"fb{b}_0", coeff, x).dest
+            for c in range(1, rng.randint(4, 8)):
+                if c % 2 == 0:
+                    chain_out = body.fmul(f"fb{b}_{c}", chain_out, x).dest
+                else:
+                    chain_out = body.fadd(f"fb{b}_{c}", chain_out, coeff).dest
+            if body_results and rng.random() < 0.5:
+                chain_out = body.fadd(
+                    f"fb{b}_link", chain_out, rng.choice(body_results)
+                ).dest
+            body.fstore(chain_out, f"out{b}")
+            # an integer use of an entry-block export keeps the banks honest
+            idx = body.add(f"rb{b}_idx", rng.choice(exported), rng.randint(1, 8)).dest
+            body.store(idx, f"oidx{b}", scalar=True)
+            assert chain_out is not None
+            body_results.append(chain_out)
+            fn.add_block(body.build_block(depth=depth))
+
+        # exit block: fold the body results and store the answer
+        exit_ = LoopBuilder(f"{name}_exit", depth=0)
+        acc = body_results[0]
+        for r in body_results[1:]:
+            acc = exit_.fadd(f"fex_{r.name}", acc, r).dest
+        exit_.fstore(acc, "result", scalar=True)
+        fn.add_block(exit_.build_block(depth=0))
+        return fn
+
+
+def function_corpus(n: int = 20, seed: int = 77) -> list[Function]:
+    """A deterministic suite of synthetic whole functions."""
+    gen = SyntheticFunctionGenerator(seed)
+    return [gen.generate(f"fn{i:02d}") for i in range(n)]

@@ -1,0 +1,499 @@
+"""Named loop kernels.
+
+A library of classic single-block innermost loops — BLAS level-1 style
+operations, Livermore-loop fragments, filters, reductions and recurrences
+— used by tests, examples and as the hand-written core of the evaluation
+corpus, plus the paper's own Section 4.2 straight-line example.
+
+Every factory returns a *fresh* loop (fresh registers and op identities),
+so callers can compile the same kernel for several machines without
+cross-contamination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.block import BasicBlock, Loop
+from repro.ir.builder import LoopBuilder
+from repro.ir.function import Function
+
+
+# ----------------------------------------------------------------------
+# Section 4.2: xpos = xpos + (xvel*t) + (xaccel*t*t/2.0)
+# ----------------------------------------------------------------------
+def xpos_example_block() -> BasicBlock:
+    """The paper's Figure 1/2 straight-line fragment, opcode-for-opcode:
+
+        load r1, xvel        load r2, t          mult r5, r1, r2
+        load r3, xaccel      load r4, xpos       mult r7, r3, r2
+        add  r6, r4, r5      div  r8, r2, 2.0    mult r9, r7, r8
+        add  r10, r6, r9     store xvel, r10
+
+    (The paper's final ``store xvel`` — rather than ``xpos`` — is kept
+    verbatim.)  Integer opcodes are used so the register names match the
+    paper's ``r1..r10``; with the example's unit-latency machine the
+    distinction is immaterial.
+    """
+    b = LoopBuilder("xpos", depth=0)
+    b.load("r1", "xvel", scalar=True)
+    b.load("r2", "t", scalar=True)
+    b.mul("r5", "r1", "r2")
+    b.load("r3", "xaccel", scalar=True)
+    b.load("r4", "xpos", scalar=True)
+    b.mul("r7", "r3", "r2")
+    b.add("r6", "r4", "r5")
+    b.div("r8", "r2", 2)
+    b.mul("r9", "r7", "r8")
+    b.add("r10", "r6", "r9")
+    b.store("r10", "xvel", scalar=True)
+    return b.build_block(depth=0)
+
+
+def xpos_example_function() -> Function:
+    """The Section 4.2 example wrapped as a one-block function for the
+    whole-function partitioning path."""
+    fn = Function(name="xpos_fn")
+    fn.add_block(xpos_example_block())
+    return fn
+
+
+# ----------------------------------------------------------------------
+# loop kernels
+# ----------------------------------------------------------------------
+def daxpy() -> Loop:
+    """y[i] = a * x[i] + y[i] — the BLAS archetype; fully parallel."""
+    b = LoopBuilder("daxpy", trip_count_hint=8)
+    b.fload("f1", "x")
+    b.fload("f2", "y")
+    b.fmul("f3", "f1", "fa")
+    b.fadd("f4", "f3", "f2")
+    b.fstore("f4", "y")
+    b.live_in("fa")
+    return b.build()
+
+
+def dot_product() -> Loop:
+    """s += x[i] * y[i] — a 2-cycle fp-add recurrence."""
+    b = LoopBuilder("dot", trip_count_hint=8)
+    b.fload("f1", "x")
+    b.fload("f2", "y")
+    b.fmul("f3", "f1", "f2")
+    b.fadd("f4", "f4", "f3")
+    b.live_out("f4")
+    return b.build()
+
+
+def sum_of_squares() -> Loop:
+    """s += x[i] * x[i]."""
+    b = LoopBuilder("sumsq", trip_count_hint=8)
+    b.fload("f1", "x")
+    b.fmul("f2", "f1", "f1")
+    b.fadd("f3", "f3", "f2")
+    b.live_out("f3")
+    return b.build()
+
+
+def vector_scale() -> Loop:
+    """y[i] = a * x[i]."""
+    b = LoopBuilder("vscale", trip_count_hint=8)
+    b.fload("f1", "x")
+    b.fmul("f2", "f1", "fa")
+    b.fstore("f2", "y")
+    b.live_in("fa")
+    return b.build()
+
+
+def fir5() -> Loop:
+    """y[i] = sum_{k=0..4} c_k * x[i+k] — a 5-tap FIR, high ILP."""
+    b = LoopBuilder("fir5", trip_count_hint=8)
+    for k in range(5):
+        b.fload(f"f{k + 1}", "x", offset=k)
+        b.fmul(f"f{k + 10}", f"f{k + 1}", f"fc{k}")
+    b.fadd("f20", "f10", "f11")
+    b.fadd("f21", "f12", "f13")
+    b.fadd("f22", "f20", "f21")
+    b.fadd("f23", "f22", "f14")
+    b.fstore("f23", "y")
+    b.live_in(*[f"fc{k}" for k in range(5)])
+    return b.build()
+
+
+def livermore_k1_hydro() -> Loop:
+    """LFK 1, hydro fragment: x[i] = q + y[i] * (r * z[i+10] + t * z[i+11])."""
+    b = LoopBuilder("lfk1_hydro", trip_count_hint=8)
+    b.fload("f1", "y")
+    b.fload("f2", "z", offset=10)
+    b.fload("f3", "z", offset=11)
+    b.fmul("f4", "fr", "f2")
+    b.fmul("f5", "ft", "f3")
+    b.fadd("f6", "f4", "f5")
+    b.fmul("f7", "f1", "f6")
+    b.fadd("f8", "fq", "f7")
+    b.fstore("f8", "x")
+    b.live_in("fr", "ft", "fq")
+    return b.build()
+
+
+def livermore_k5_tridiag() -> Loop:
+    """LFK 5, tri-diagonal elimination: x[i] = z[i] * (y[i] - x[i-1]).
+
+    The x[i-1] -> x[i] memory recurrence makes this strongly
+    RecII-bound: a copy inserted on the cycle immediately costs II.
+    """
+    b = LoopBuilder("lfk5_tridiag", trip_count_hint=8)
+    b.fload("f1", "z")
+    b.fload("f2", "y")
+    b.fload("f3", "x", offset=-1)
+    b.fsub("f4", "f2", "f3")
+    b.fmul("f5", "f1", "f4")
+    b.fstore("f5", "x")
+    return b.build()
+
+
+def livermore_k7_state() -> Loop:
+    """LFK 7, equation-of-state fragment — long parallel expression:
+
+    x[i] = u[i] + r*(z[i] + r*y[i]) + t*(u[i+3] + r*(u[i+2] + r*u[i+1])
+           + t*(u[i+6] + q*(u[i+5] + q*u[i+4])))
+    """
+    b = LoopBuilder("lfk7_state", trip_count_hint=8)
+    b.fload("f1", "u")
+    b.fload("f2", "z")
+    b.fload("f3", "y")
+    for k in range(1, 7):
+        b.fload(f"f{3 + k}", "u", offset=k)
+    b.fmul("f10", "fr", "f3")          # r*y
+    b.fadd("f11", "f2", "f10")         # z + r*y
+    b.fmul("f12", "fr", "f11")         # r*(...)
+    b.fmul("f13", "fr", "f5")          # r*u2
+    b.fadd("f14", "f4", "f13")         # u1... (approximate nesting)
+    b.fmul("f15", "fr", "f14")
+    b.fadd("f16", "f6", "f15")
+    b.fmul("f17", "fq", "f7")
+    b.fadd("f18", "f8", "f17")
+    b.fmul("f19", "fq", "f18")
+    b.fadd("f20", "f9", "f19")
+    b.fmul("f21", "ft", "f20")
+    b.fadd("f22", "f16", "f21")
+    b.fmul("f23", "ft", "f22")
+    b.fadd("f24", "f1", "f12")
+    b.fadd("f25", "f24", "f23")
+    b.fstore("f25", "x")
+    b.live_in("fr", "ft", "fq")
+    return b.build()
+
+
+def livermore_k11_partial_sum() -> Loop:
+    """LFK 11, first sum: x[i] = x[i-1] + y[i] — a pure memory recurrence."""
+    b = LoopBuilder("lfk11_psum", trip_count_hint=8)
+    b.fload("f1", "x", offset=-1)
+    b.fload("f2", "y")
+    b.fadd("f3", "f1", "f2")
+    b.fstore("f3", "x")
+    return b.build()
+
+
+def livermore_k12_first_diff() -> Loop:
+    """LFK 12, first difference: x[i] = y[i+1] - y[i] — fully parallel."""
+    b = LoopBuilder("lfk12_fdiff", trip_count_hint=8)
+    b.fload("f1", "y", offset=1)
+    b.fload("f2", "y")
+    b.fsub("f3", "f1", "f2")
+    b.fstore("f3", "x")
+    return b.build()
+
+
+def jacobi3() -> Loop:
+    """x[i] = (y[i-1] + y[i] + y[i+1]) * third — 1-D Jacobi smoothing."""
+    b = LoopBuilder("jacobi3", trip_count_hint=8)
+    b.fload("f1", "y", offset=-1)
+    b.fload("f2", "y")
+    b.fload("f3", "y", offset=1)
+    b.fadd("f4", "f1", "f2")
+    b.fadd("f5", "f4", "f3")
+    b.fmul("f6", "f5", "fthird")
+    b.fstore("f6", "x")
+    b.live_in("fthird")
+    return b.build()
+
+
+def complex_multiply() -> Loop:
+    """(cr, ci)[i] = (ar, ai)[i] * (br, bi)[i] — two independent trees."""
+    b = LoopBuilder("cmul", trip_count_hint=8)
+    b.fload("f1", "ar")
+    b.fload("f2", "ai")
+    b.fload("f3", "br")
+    b.fload("f4", "bi")
+    b.fmul("f5", "f1", "f3")
+    b.fmul("f6", "f2", "f4")
+    b.fmul("f7", "f1", "f4")
+    b.fmul("f8", "f2", "f3")
+    b.fsub("f9", "f5", "f6")
+    b.fadd("f10", "f7", "f8")
+    b.fstore("f9", "cr")
+    b.fstore("f10", "ci")
+    return b.build()
+
+
+def horner4() -> Loop:
+    """p[i] = ((c3*x + c2)*x + c1)*x + c0 with x = v[i] — a serial chain."""
+    b = LoopBuilder("horner4", trip_count_hint=8)
+    b.fload("f1", "v")
+    b.fmul("f2", "fc3", "f1")
+    b.fadd("f3", "f2", "fc2")
+    b.fmul("f4", "f3", "f1")
+    b.fadd("f5", "f4", "fc1")
+    b.fmul("f6", "f5", "f1")
+    b.fadd("f7", "f6", "fc0")
+    b.fstore("f7", "p")
+    b.live_in("fc0", "fc1", "fc2", "fc3")
+    return b.build()
+
+
+def int_max_reduction() -> Loop:
+    """m = max(m, v[i]) via cmp/select — an integer control-free reduction."""
+    b = LoopBuilder("imax", trip_count_hint=8)
+    b.load("r1", "v")
+    b.cmp("r2", "r1", "r3")
+    b.select("r3", "r2", "r1", "r3")
+    b.live_out("r3")
+    return b.build()
+
+
+def prefix_sum_int() -> Loop:
+    """s += v[i]; out[i] = s — integer running sum through a register."""
+    b = LoopBuilder("iprefix", trip_count_hint=8)
+    b.load("r1", "v")
+    b.add("r2", "r2", "r1")
+    b.store("r2", "out")
+    b.live_out("r2")
+    return b.build()
+
+
+def mixed_index_update() -> Loop:
+    """Mixed integer/fp work: integer index chain plus fp update."""
+    b = LoopBuilder("mixed", trip_count_hint=8)
+    b.load("r1", "idx")
+    b.shl("r2", "r1", 2)
+    b.add("r3", "r2", "rbase")
+    b.store("r3", "addr")
+    b.fload("f1", "w")
+    b.fload("f2", "g")
+    b.fmul("f3", "f2", "feta")
+    b.fsub("f4", "f1", "f3")
+    b.fstore("f4", "w")
+    b.live_in("rbase", "feta")
+    return b.build()
+
+
+def sg_update_unrolled2() -> Loop:
+    """w[i] -= eta*g[i], unrolled x2 — more ILP per iteration."""
+    b = LoopBuilder("sgd2", trip_count_hint=8)
+    for u, off in ((0, 0), (1, 1)):
+        b.fload(f"f{u * 10 + 1}", "w", offset=off)
+        b.fload(f"f{u * 10 + 2}", "g", offset=off)
+        b.fmul(f"f{u * 10 + 3}", f"f{u * 10 + 2}", "feta")
+        b.fsub(f"f{u * 10 + 4}", f"f{u * 10 + 1}", f"f{u * 10 + 3}")
+        b.fstore(f"f{u * 10 + 4}", "wout", offset=off)
+    b.live_in("feta")
+    return b.build()
+
+
+def daxpy_unrolled4() -> Loop:
+    """daxpy unrolled x4 — 20 ops, embarrassingly parallel."""
+    b = LoopBuilder("daxpy4", trip_count_hint=8)
+    for u in range(4):
+        b.fload(f"f{u * 10 + 1}", "x", offset=u)
+        b.fload(f"f{u * 10 + 2}", "y", offset=u)
+        b.fmul(f"f{u * 10 + 3}", f"f{u * 10 + 1}", "fa")
+        b.fadd(f"f{u * 10 + 4}", f"f{u * 10 + 3}", f"f{u * 10 + 2}")
+        b.fstore(f"f{u * 10 + 4}", "yout", offset=u)
+    b.live_in("fa")
+    return b.build()
+
+
+def xpos_loop() -> Loop:
+    """The Section 4.2 statement as an array loop:
+    xpos[i] += xvel[i]*t + xaccel[i]*t*t/2."""
+    b = LoopBuilder("xpos_loop", trip_count_hint=8)
+    b.fload("f1", "xvel")
+    b.fload("f3", "xaccel")
+    b.fload("f4", "xpos")
+    b.fmul("f5", "f1", "ft")
+    b.fmul("f7", "f3", "ft")
+    b.fadd("f6", "f4", "f5")
+    b.fdiv("f8", "ft", 2.0)
+    b.fmul("f9", "f7", "f8")
+    b.fadd("f10", "f6", "f9")
+    b.fstore("f10", "xpos")
+    b.live_in("ft")
+    return b.build()
+
+
+def coupled_recurrence() -> Loop:
+    """x[i] = x[i-2]*a + y[i]; distance-2 recurrence: RecII spread over
+    two iterations, sensitive to copy placement."""
+    b = LoopBuilder("rec_d2", trip_count_hint=8)
+    b.fload("f1", "x", offset=-2)
+    b.fload("f2", "y")
+    b.fmul("f3", "f1", "fa")
+    b.fadd("f4", "f3", "f2")
+    b.fstore("f4", "x")
+    b.live_in("fa")
+    return b.build()
+
+
+def livermore_k3_inner_product() -> Loop:
+    """LFK 3, inner product: q += z[i] * x[i] (same shape as dot, kept
+    under its Livermore name for corpus familiarity)."""
+    b = LoopBuilder("lfk3_inner", trip_count_hint=8)
+    b.fload("f1", "z")
+    b.fload("f2", "x")
+    b.fmul("f3", "f1", "f2")
+    b.fadd("f4", "f4", "f3")
+    b.live_out("f4")
+    return b.build()
+
+
+def livermore_k9_integrate() -> Loop:
+    """LFK 9, integrate predictors — a wide flat expression over many
+    coefficient live-ins; stresses bank balance under register pressure."""
+    b = LoopBuilder("lfk9_integrate", trip_count_hint=8)
+    for j in range(6):
+        b.fload(f"f{j + 1}", "px", offset=j)
+    acc = None
+    for j in range(6):
+        b.fmul(f"f{j + 10}", f"f{j + 1}", f"fdm{j}")
+        if acc is None:
+            acc = f"f{j + 10}"
+        else:
+            b.fadd(f"f{j + 20}", acc, f"f{j + 10}")
+            acc = f"f{j + 20}"
+    b.fstore(acc, "px", offset=0)
+    b.live_in(*[f"fdm{j}" for j in range(6)])
+    return b.build()
+
+
+def stencil5_2d() -> Loop:
+    """Five-point stencil over row-linearized storage (rows W apart are
+    modeled as separate arrays — a standard innermost-loop view)."""
+    b = LoopBuilder("stencil5", trip_count_hint=8)
+    b.fload("f1", "row_above")
+    b.fload("f2", "row", offset=-1)
+    b.fload("f3", "row")
+    b.fload("f4", "row", offset=1)
+    b.fload("f5", "row_below")
+    b.fadd("f6", "f1", "f2")
+    b.fadd("f7", "f4", "f5")
+    b.fadd("f8", "f6", "f7")
+    b.fmul("f9", "f3", "fc")
+    b.fadd("f10", "f8", "f9")
+    b.fstore("f10", "out")
+    b.live_in("fc")
+    return b.build()
+
+
+def gather_scale() -> Loop:
+    """Indexed scaling with the index chain in integer registers —
+    int/fp bank traffic in one loop."""
+    b = LoopBuilder("gather_scale", trip_count_hint=8)
+    b.load("r1", "index")
+    b.shl("r2", "r1", 3)
+    b.add("r3", "r2", "rbase")
+    b.store("r3", "addr")
+    b.fload("f1", "data")
+    b.fmul("f2", "f1", "fscale")
+    b.fstore("f2", "scaled")
+    b.live_in("rbase", "fscale")
+    return b.build()
+
+
+def newton_step() -> Loop:
+    """x[i] = x[i] * (2 - d[i]*x[i]) — one Newton-Raphson reciprocal
+    refinement; a multiply-heavy serial pocket per iteration."""
+    b = LoopBuilder("newton", trip_count_hint=8)
+    b.fload("f1", "x")
+    b.fload("f2", "d")
+    b.fmul("f3", "f2", "f1")
+    b.fsub("f4", "ftwo", "f3")
+    b.fmul("f5", "f1", "f4")
+    b.fstore("f5", "x")
+    b.live_in("ftwo")
+    return b.build()
+
+
+def alternating_series() -> Loop:
+    """s += sign * x[i]; sign = -sign — two coupled scalar recurrences."""
+    b = LoopBuilder("altseries", trip_count_hint=8)
+    b.fload("f1", "x")
+    b.fmul("f2", "fsign", "f1")
+    b.fadd("f3", "f3", "f2")
+    b.fneg("fsign", "fsign")
+    b.live_out("f3")
+    return b.build()
+
+
+def interleaved_minmax() -> Loop:
+    """Running min and max in one pass — two select recurrences sharing
+    the loaded value."""
+    b = LoopBuilder("minmax", trip_count_hint=8)
+    b.load("r1", "v")
+    b.cmp("r2", "r1", "rmax")
+    b.select("rmax", "r2", "r1", "rmax")
+    b.cmp("r3", "rmin", "r1")
+    b.select("rmin", "r3", "r1", "rmin")
+    b.live_out("rmax", "rmin")
+    return b.build()
+
+
+def blocked_copy4() -> Loop:
+    """4-element structure copy per iteration — pure memory bandwidth."""
+    b = LoopBuilder("blockcopy4", trip_count_hint=8)
+    for j in range(4):
+        b.fload(f"f{j + 1}", "src", offset=j, stride=4)
+        b.fstore(f"f{j + 1}", "dst", offset=j, stride=4)
+    return b.build()
+
+
+NAMED_KERNELS: dict[str, Callable[[], Loop]] = {
+    "daxpy": daxpy,
+    "dot": dot_product,
+    "sumsq": sum_of_squares,
+    "vscale": vector_scale,
+    "fir5": fir5,
+    "lfk1_hydro": livermore_k1_hydro,
+    "lfk5_tridiag": livermore_k5_tridiag,
+    "lfk7_state": livermore_k7_state,
+    "lfk11_psum": livermore_k11_partial_sum,
+    "lfk12_fdiff": livermore_k12_first_diff,
+    "jacobi3": jacobi3,
+    "cmul": complex_multiply,
+    "horner4": horner4,
+    "imax": int_max_reduction,
+    "iprefix": prefix_sum_int,
+    "mixed": mixed_index_update,
+    "sgd2": sg_update_unrolled2,
+    "daxpy4": daxpy_unrolled4,
+    "xpos_loop": xpos_loop,
+    "rec_d2": coupled_recurrence,
+    "lfk3_inner": livermore_k3_inner_product,
+    "lfk9_integrate": livermore_k9_integrate,
+    "stencil5": stencil5_2d,
+    "gather_scale": gather_scale,
+    "newton": newton_step,
+    "altseries": alternating_series,
+    "minmax": interleaved_minmax,
+    "blockcopy4": blocked_copy4,
+}
+"""Registry of all named kernels; keys are stable identifiers."""
+
+
+def make_kernel(name: str) -> Loop:
+    """Instantiate a fresh copy of the named kernel."""
+    try:
+        return NAMED_KERNELS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(NAMED_KERNELS)}"
+        ) from None

@@ -1,0 +1,287 @@
+"""Synthetic Spec95-like loop generation.
+
+The paper's 211 loops were extracted from Spec 95 Fortran programs
+("single-block innermost loops", Section 6.3) and are not available; this
+generator produces loops with the same observable characteristics:
+
+* bodies of a few to several dozen three-address operations;
+* floating-point expression trees fed by array loads, terminated by
+  stores or reductions, with integer address/index side chains;
+* **value sharing** across expression chains (common loads, reused
+  subexpressions, loop invariants feeding many operations, reduction
+  trees combining chain results) — this is what makes the register
+  component graph *connected* and bank partitioning genuinely costly,
+  the regime the paper's 2-cluster copy-unit results demonstrate;
+* loop-carried recurrences through scalars and arrays at distances 1-3,
+  including serial in-cycle chains that push RecII well above ResII (and
+  give the degradation histograms of Figures 5-7 their fine structure);
+* nesting depths 1-3 (the RCG heuristic weighs depth).
+
+The *profile* mixture is the calibration lever: the published corpus
+averaged 8.6 ideal IPC on the 16-wide machine (Table 1);
+:func:`default_profile_mixture` encodes weights that reproduce that
+average (asserted by the corpus tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ir.block import Loop
+from repro.ir.builder import LoopBuilder
+
+
+@dataclass(frozen=True)
+class LoopProfile:
+    """Shape parameters for one family of synthetic loops.
+
+    A loop is a set of *chains*; each chain combines array loads, shared
+    values, loop invariants and (sometimes) other chains' intermediate
+    results through a tree of fp operations, and either stores its result,
+    accumulates it into a reduction register, or feeds an array
+    recurrence.  ``combine_prob`` additionally folds all chain results
+    into one final reduction tree, strongly coupling the chains.
+    """
+
+    name: str
+    chains: tuple[int, int]                 # chains per loop (min, max)
+    loads_per_chain: tuple[int, int]
+    extra_ops_per_chain: tuple[int, int]
+    shared_loads: tuple[int, int] = (0, 2)  # loads visible to all chains
+    shared_use_prob: float = 0.35           # leaf = shared load
+    cross_chain_prob: float = 0.25          # leaf = earlier intermediate
+    combine_prob: float = 0.25              # fold chain results together
+    reduction_prob: float = 0.0             # chain ends in an accumulator
+    recurrence_prob: float = 0.0            # chain is an array recurrence
+    recurrence_distance: tuple[int, int] = (1, 3)
+    recurrence_serial_ops: tuple[int, int] = (1, 4)  # ops inside the cycle
+    int_chain_prob: float = 0.2             # extra integer side chain
+    fdiv_prob: float = 0.04
+    invariant_prob: float = 0.3             # leaf = invariant register
+    depth_choices: tuple[int, ...] = (1, 1, 2, 2, 3)
+
+
+PARALLEL = LoopProfile(
+    name="parallel",
+    chains=(4, 9),
+    loads_per_chain=(1, 3),
+    extra_ops_per_chain=(2, 5),
+    shared_loads=(1, 3),
+    shared_use_prob=0.35,
+    cross_chain_prob=0.2,
+    combine_prob=0.3,
+)
+
+SIMPLE = LoopProfile(
+    name="simple",
+    chains=(1, 3),
+    loads_per_chain=(1, 2),
+    extra_ops_per_chain=(1, 2),
+    shared_loads=(0, 0),
+    shared_use_prob=0.0,
+    cross_chain_prob=0.0,
+    combine_prob=0.0,
+    reduction_prob=0.2,
+    int_chain_prob=0.3,
+    invariant_prob=0.25,
+)
+
+REDUCTION = LoopProfile(
+    name="reduction",
+    chains=(3, 6),
+    loads_per_chain=(1, 3),
+    extra_ops_per_chain=(1, 4),
+    reduction_prob=0.75,
+    combine_prob=0.35,
+)
+
+RECURRENCE = LoopProfile(
+    name="recurrence",
+    chains=(2, 5),
+    loads_per_chain=(1, 2),
+    extra_ops_per_chain=(1, 3),
+    recurrence_prob=0.6,
+    reduction_prob=0.1,
+    recurrence_serial_ops=(2, 6),
+)
+
+PROFILES: dict[str, LoopProfile] = {
+    p.name: p for p in (PARALLEL, SIMPLE, REDUCTION, RECURRENCE)
+}
+
+
+def default_profile_mixture() -> list[tuple[LoopProfile, float]]:
+    """Corpus mixture calibrated to the paper's ideal IPC of ~8.6."""
+    return [(PARALLEL, 0.42), (SIMPLE, 0.16), (REDUCTION, 0.13), (RECURRENCE, 0.29)]
+
+
+class SyntheticLoopGenerator:
+    """Deterministic (seeded) loop generator."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, name: str, profile: LoopProfile) -> Loop:
+        rng = self._rng
+        depth = rng.choice(profile.depth_choices)
+        b = LoopBuilder(name, depth=depth, trip_count_hint=8)
+        counters = {"f": 0, "r": 0}
+
+        def fresh(prefix: str) -> str:
+            counters[prefix] += 1
+            return f"{prefix}{counters[prefix]}"
+
+        invariants = [f"finv{i}" for i in range(rng.randint(1, 3))]
+
+        # shared loads every chain may draw from
+        shared: list[str] = []
+        for j in range(rng.randint(*profile.shared_loads)):
+            v = fresh("f")
+            b.fload(v, f"sh{j}")
+            shared.append(v)
+
+        n_chains = rng.randint(*profile.chains)
+        live_outs: list[str] = []
+        intermediates: list[str] = []
+        chain_results: list[str] = []
+
+        for c in range(n_chains):
+            is_rec = rng.random() < profile.recurrence_prob
+            is_red = not is_rec and rng.random() < profile.reduction_prob
+            result = self._emit_chain(
+                b, c, profile, fresh, invariants, shared, intermediates,
+                is_rec, is_red, live_outs,
+            )
+            if result is not None:
+                chain_results.append(result)
+
+        # optionally fold the stored-chain results into one reduction tree
+        if len(chain_results) >= 2 and rng.random() < profile.combine_prob:
+            acc = chain_results[0]
+            for other in chain_results[1:]:
+                dest = fresh("f")
+                b.fadd(dest, acc, other)
+                acc = dest
+            b.fstore(acc, "combined")
+
+        if rng.random() < profile.int_chain_prob:
+            self._emit_int_chain(b, fresh, live_outs)
+
+        for inv in invariants:
+            b.live_in(inv)
+        for lo in live_outs:
+            b.live_out(lo)
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def _emit_chain(
+        self,
+        b: LoopBuilder,
+        chain_id: int,
+        profile: LoopProfile,
+        fresh,
+        invariants: list[str],
+        shared: list[str],
+        intermediates: list[str],
+        is_recurrence: bool,
+        is_reduction: bool,
+        live_outs: list[str],
+    ) -> str | None:
+        """Emit one chain; returns the result register name for chains that
+        produced a storable value (None for recurrences/reductions)."""
+        rng = self._rng
+
+        def pick_leaf() -> str | None:
+            r = rng.random()
+            if shared and r < profile.shared_use_prob:
+                return rng.choice(shared)
+            if intermediates and r < profile.shared_use_prob + profile.cross_chain_prob:
+                return rng.choice(intermediates)
+            if rng.random() < profile.invariant_prob:
+                return rng.choice(invariants)
+            return None
+
+        if is_recurrence:
+            # x[i] = f(x[i-d], leaves...) with a serial op chain inside the
+            # dependence cycle; RecII ~ (store+load+2*ops)/distance.  The
+            # in-cycle leaves are private loads or invariants — real Spec95
+            # recurrences (tridiagonal elimination, linear recurrences)
+            # combine the carried value with that iteration's own array
+            # elements, not with values shared across the body.
+            rec_array = f"xr{chain_id}"
+            d = rng.randint(*profile.recurrence_distance)
+            v = fresh("f")
+            b.fload(v, rec_array, offset=-d)
+            current = v
+            for s in range(rng.randint(*profile.recurrence_serial_ops)):
+                if rng.random() < profile.invariant_prob:
+                    leaf = rng.choice(invariants)
+                else:
+                    leaf = fresh("f")
+                    b.fload(leaf, f"a{chain_id}_{s}")
+                dest = fresh("f")
+                if rng.random() < 0.5:
+                    b.fmul(dest, current, leaf)
+                else:
+                    b.fadd(dest, current, leaf)
+                current = dest
+            b.fstore(current, rec_array)
+            return None
+
+        values: list[str] = []
+        for j in range(rng.randint(*profile.loads_per_chain)):
+            leaf = pick_leaf()
+            if leaf is None:
+                leaf = fresh("f")
+                b.fload(leaf, f"a{chain_id}_{j}")
+            values.append(leaf)
+
+        n_extra = rng.randint(*profile.extra_ops_per_chain)
+        emitted = 0
+        while len(values) > 1 or emitted < n_extra:
+            if len(values) >= 2:
+                a = values.pop(rng.randrange(len(values)))
+                x = values.pop(rng.randrange(len(values)))
+            else:
+                a = values.pop()
+                x = pick_leaf() or rng.choice(invariants)
+            dest = fresh("f")
+            r = rng.random()
+            if r < profile.fdiv_prob:
+                b.fdiv(dest, a, x)
+            elif r < 0.5:
+                b.fmul(dest, a, x)
+            else:
+                b.fadd(dest, a, x)
+            intermediates.append(dest)
+            values.append(dest)
+            emitted += 1
+            if emitted >= n_extra and len(values) == 1:
+                break
+
+        result = values[0]
+        if is_reduction:
+            acc = f"facc{chain_id}"
+            b.fadd(acc, acc, result)
+            live_outs.append(acc)
+            return None
+        b.fstore(result, f"out{chain_id}")
+        return result
+
+    def _emit_int_chain(self, b: LoopBuilder, fresh, live_outs: list[str]) -> None:
+        rng = self._rng
+        v = fresh("r")
+        b.load(v, "ivec")
+        w = fresh("r")
+        if rng.random() < 0.5:
+            b.shl(w, v, rng.randint(1, 3))
+        else:
+            b.add(w, v, rng.randint(1, 16))
+        if rng.random() < 0.5:
+            acc = "racc"
+            b.add(acc, acc, w)
+            live_outs.append(acc)
+        else:
+            b.store(w, "iout")

@@ -1,0 +1,93 @@
+"""Tests for the baseline partitioners (BUG, random, round-robin, single)."""
+
+
+from repro.core.baselines import (
+    bug_partition,
+    random_partition,
+    round_robin_partition,
+    single_bank_partition,
+)
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.ddg.builder import build_loop_ddg
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.workloads.kernels import make_kernel
+
+
+class TestNaiveBaselines:
+    def test_single_bank_totality(self, daxpy_loop):
+        p = single_bank_partition(daxpy_loop, 4)
+        assert len(p) == len(daxpy_loop.registers())
+        assert all(b == 0 for b in p.assignment.values())
+
+    def test_round_robin_spreads(self, daxpy_loop):
+        p = round_robin_partition(daxpy_loop, 3)
+        sizes = p.bank_sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_random_deterministic_per_seed(self, daxpy_loop):
+        p1 = random_partition(daxpy_loop, 4, seed=7)
+        p2 = random_partition(daxpy_loop, 4, seed=7)
+        assert p1.assignment == p2.assignment
+
+    def test_random_differs_across_seeds(self):
+        loop = make_kernel("lfk7_state")
+        p1 = random_partition(loop, 4, seed=1)
+        p2 = random_partition(loop, 4, seed=2)
+        assert p1.assignment != p2.assignment
+
+
+class TestBUG:
+    def test_totality(self, daxpy_loop):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        ddg = build_loop_ddg(daxpy_loop)
+        p = bug_partition(daxpy_loop, ddg, m)
+        assert len(p) == len(daxpy_loop.registers())
+
+    def test_dependent_chain_colocates(self, daxpy_loop):
+        """BUG keeps a serial chain on one cluster: moving any link pays
+        copy latency with no parallelism gain."""
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        ddg = build_loop_ddg(daxpy_loop)
+        p = bug_partition(daxpy_loop, ddg, m)
+        f = daxpy_loop.factory
+        assert p.bank_of(f.get("f3")) == p.bank_of(f.get("f4"))
+
+    def test_parallel_chains_spread(self):
+        loop = make_kernel("cmul")  # two independent result trees
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        ddg = build_loop_ddg(loop)
+        p = bug_partition(loop, ddg, m)
+        assert len(set(p.assignment.values())) == 2
+
+    def test_compiles_through_pipeline(self):
+        loop = make_kernel("lfk1_hydro")
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        result = compile_loop(loop, m, PipelineConfig(partitioner="bug", run_regalloc=False))
+        assert result.metrics.partitioned_ii >= result.metrics.ideal_ii
+
+
+class TestBaselineComparison:
+    def test_greedy_not_worse_than_random_on_average(self):
+        """Over a handful of kernels, the RCG greedy should beat random
+        placement in total degradation — the paper's whole premise."""
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        kernels = ["daxpy", "dot", "fir5", "lfk1_hydro", "cmul", "jacobi3", "horner4"]
+        total = {"greedy": 0, "random": 0}
+        for name in kernels:
+            for which in ("greedy", "random"):
+                res = compile_loop(
+                    make_kernel(name),
+                    m,
+                    PipelineConfig(partitioner=which, run_regalloc=False, seed=3),
+                )
+                total[which] += res.metrics.partitioned_ii
+        assert total["greedy"] <= total["random"]
+
+    def test_single_bank_serializes(self):
+        """Everything in one bank leaves N-1 clusters idle: II inflates by
+        about the cluster count on resource-bound loops."""
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        loop = make_kernel("daxpy4")  # 20 parallel ops
+        res = compile_loop(loop, m, PipelineConfig(partitioner="single", run_regalloc=False))
+        assert res.metrics.partitioned_ii >= 2 * res.metrics.ideal_ii

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestKernelsCommand:
+    def test_lists_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "daxpy" in out and "lfk5_tridiag" in out
+        assert "RecII" in out
+
+
+class TestCompileCommand:
+    def test_compile_named_kernel(self, capsys):
+        assert main(["compile", "daxpy", "--clusters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal kernel" in out
+        assert "clustered kernel" in out
+        assert "degradation" in out
+
+    def test_compile_with_simulation(self, capsys):
+        assert main(["compile", "dot", "--clusters", "4", "--sim"]) == 0
+        out = capsys.readouterr().out
+        assert "simulator equivalence: PASSED" in out
+
+    def test_compile_with_uas(self, capsys):
+        assert main(["compile", "fir5", "--partitioner", "uas", "--no-regalloc"]) == 0
+        out = capsys.readouterr().out
+        assert "partitioner: uas" in out
+
+    def test_compile_copy_unit(self, capsys):
+        assert main(["compile", "cmul", "--model", "copy_unit"]) == 0
+        out = capsys.readouterr().out
+        assert "copy_unit" in out
+
+    def test_compile_from_file(self, tmp_path, capsys):
+        ir = tmp_path / "loop.ir"
+        ir.write_text(
+            "loop fromfile trip=4\n"
+            "  fload f1, a[i]\n"
+            "  fmul f2, f1, f1\n"
+            "  fstore f2, b[i]\n"
+            "end\n"
+        )
+        assert main(["compile", str(ir), "--clusters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fromfile" in out
+
+    def test_unknown_loop_exits(self):
+        with pytest.raises(SystemExit, match="neither a named kernel"):
+            main(["compile", "no_such_kernel"])
+
+
+class TestEvaluateCommand:
+    def test_quick_evaluation(self, capsys):
+        assert main(["evaluate", "--quick", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "Figure 5" in out and "Figure 7" in out
+
+
+class TestTuneCommand:
+    def test_tune_small(self, capsys):
+        assert main(["tune", "--trials", "2", "--loops", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "incumbent objective" in out
+        assert "best config" in out

@@ -1,0 +1,71 @@
+"""CLI tests for the emit/expand/diagnose/export surfaces."""
+
+import json
+
+from repro.cli import main
+
+
+class TestEmitFlags:
+    def test_emit_prints_physical_assembly(self, capsys):
+        assert main(["compile", "dot", "--clusters", "2", "--emit"]) == 0
+        out = capsys.readouterr().out
+        assert "final assembly" in out
+        assert "b0.r" in out or "b1.r" in out
+        assert "MVE" in out
+
+    def test_expand_prints_phases(self, capsys):
+        assert main(["compile", "daxpy", "--clusters", "2", "--expand", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "expanded pipeline (3 iterations)" in out
+        assert "[prelude" in out
+
+    def test_swing_scheduler_flag(self, capsys):
+        assert main(
+            ["compile", "fir5", "--scheduler", "swing", "--no-regalloc"]
+        ) == 0
+
+    def test_unroll_flag(self, capsys):
+        assert main(["compile", "dot", "--unroll", "2", "--no-regalloc"]) == 0
+        out = capsys.readouterr().out
+        assert "dot.x2" in out
+
+
+class TestDiagnoseCommand:
+    def test_diagnose_reports_cause(self, capsys):
+        assert main(["diagnose", "daxpy4", "--clusters", "8",
+                     "--partitioner", "single"]) == 0
+        out = capsys.readouterr().out
+        assert "cause: resources" in out
+
+    def test_diagnose_clean_loop(self, capsys):
+        assert main(["diagnose", "daxpy", "--clusters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cause:" in out
+
+
+class TestEvaluateExports:
+    def test_csv_and_json_written(self, tmp_path, capsys):
+        csv_path = tmp_path / "loops.csv"
+        json_path = tmp_path / "run.json"
+        assert main([
+            "evaluate", "--quick", "10",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ]) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "normalized_kernel" in header
+        doc = json.loads(json_path.read_text())
+        assert "table1" in doc and "table2" in doc
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.__version__
+        loop_builder = repro.LoopBuilder("t")
+        loop_builder.fload("f1", "x")
+        loop = loop_builder.build()
+        m = repro.paper_machine(2, repro.CopyModel.EMBEDDED)
+        result = repro.compile_loop(loop, m, repro.PipelineConfig(run_regalloc=False))
+        assert result.metrics.partitioned_ii >= 1

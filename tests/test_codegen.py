@@ -1,0 +1,116 @@
+"""Tests for final code emission."""
+
+import re
+
+import pytest
+
+from repro.codegen import emit_assembly, emit_expanded
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.workloads.kernels import make_kernel
+
+PHYS_RE = re.compile(r"\bb(\d+)\.r(\d+)\b")
+
+
+@pytest.fixture(scope="module")
+def daxpy_result():
+    return compile_loop(
+        make_kernel("daxpy"), paper_machine(2, CopyModel.EMBEDDED), PipelineConfig()
+    )
+
+
+class TestEmitAssembly:
+    def test_requires_regalloc(self):
+        result = compile_loop(
+            make_kernel("daxpy"),
+            paper_machine(2, CopyModel.EMBEDDED),
+            PipelineConfig(run_regalloc=False),
+        )
+        with pytest.raises(ValueError, match="run_regalloc"):
+            emit_assembly(result)
+
+    def test_kernel_instruction_count(self, daxpy_result):
+        asm = emit_assembly(daxpy_result)
+        numbered = [l for l in asm.lines if re.match(r"\s+\d+:", l)]
+        assert len(numbered) == asm.n_kernel_instructions
+        assert asm.n_kernel_instructions == asm.unroll * asm.ii
+
+    def test_all_operands_are_physical(self, daxpy_result):
+        asm = emit_assembly(daxpy_result)
+        machine = daxpy_result.machine
+        for bank, idx in (
+            (int(m.group(1)), int(m.group(2)))
+            for line in asm.lines
+            for m in PHYS_RE.finditer(line)
+        ):
+            assert 0 <= bank < machine.n_clusters
+            assert 0 <= idx < machine.regs_per_bank
+
+    def test_no_virtual_register_names_leak(self, daxpy_result):
+        asm = emit_assembly(daxpy_result)
+        body = "\n".join(l for l in asm.lines if re.match(r"\s+\d+:", l))
+        # virtual names look like f<digits> as standalone operands
+        assert not re.search(r"[, ]f\d+\b", body)
+
+    def test_mve_renaming_rotates(self, daxpy_result):
+        """Consecutive replicas of a multi-name value use different
+        physical registers (that's what MVE is for)."""
+        asm = emit_assembly(daxpy_result)
+        assert asm.unroll >= 2
+        numbered = [l for l in asm.lines if re.match(r"\s+\d+:", l)]
+        # each kernel replica defines the fadd result; collect its name
+        fadd_defs = []
+        for line in numbered:
+            m = re.search(r"fadd (b\d+\.r\d+)", line)
+            if m:
+                fadd_defs.append(m.group(1))
+        assert len(set(fadd_defs)) >= 2
+
+    def test_preheader_copies_in_prologue(self):
+        # force a preheader copy: fa consumed in another bank
+        loop = make_kernel("daxpy")
+        fa = loop.factory.get("fa")
+        f3 = loop.factory.get("f3")
+        result = compile_loop(
+            loop,
+            paper_machine(2, CopyModel.EMBEDDED),
+            PipelineConfig(precolored={fa: 0, f3: 1}),
+        )
+        asm = emit_assembly(result)
+        prologue = "\n".join(
+            asm.lines[asm.lines.index("prologue:"): asm.lines.index("kernel_0:") if "kernel_0:" in asm.lines else None]
+        )
+        assert "hoisted loop-invariant copy" in prologue
+
+    def test_deterministic(self, daxpy_result):
+        assert emit_assembly(daxpy_result).text() == emit_assembly(daxpy_result).text()
+
+    @pytest.mark.parametrize("name", ["dot", "fir5", "lfk5_tridiag", "minmax"])
+    def test_various_kernels_emit(self, name):
+        result = compile_loop(
+            make_kernel(name), paper_machine(4, CopyModel.EMBEDDED), PipelineConfig()
+        )
+        asm = emit_assembly(result)
+        assert asm.text()
+        assert f"II={asm.ii}" in asm.lines[0]
+
+
+class TestEmitExpanded:
+    def test_phases_labeled(self, daxpy_result):
+        asm = emit_expanded(daxpy_result, trip_count=4)
+        text = asm.text()
+        assert "[prelude" in text
+        assert "[postlude" in text
+
+    def test_cycle_count_matches_total(self, daxpy_result):
+        trips = 5
+        asm = emit_expanded(daxpy_result, trips)
+        cycles = [l for l in asm.lines if re.match(r"\s+\d+ \[", l)]
+        assert len(cycles) == daxpy_result.kernel.total_cycles(trips)
+
+    def test_each_iteration_issues_all_ops(self, daxpy_result):
+        trips = 3
+        asm = emit_expanded(daxpy_result, trips)
+        body = asm.text()
+        assert body.count("fstore") == trips  # one store per iteration

@@ -1,0 +1,97 @@
+"""Tests for the DDG container itself."""
+
+import pytest
+
+from repro.ddg.builder import build_loop_ddg
+from repro.ddg.dependence import DepKind, Dependence
+from repro.ddg.graph import DDG
+from repro.ir.builder import LoopBuilder
+
+
+def two_op_loop():
+    b = LoopBuilder("two")
+    b.fload("f1", "x")
+    b.fstore("f1", "y")
+    return b.build()
+
+
+class TestDDGStructure:
+    def test_membership_and_index(self):
+        loop = two_op_loop()
+        ddg = DDG(ops=list(loop.ops))
+        assert loop.ops[0] in ddg
+        assert ddg.index_of(loop.ops[1]) == 1
+
+    def test_duplicate_ops_rejected(self):
+        loop = two_op_loop()
+        with pytest.raises(ValueError):
+            DDG(ops=[loop.ops[0], loop.ops[0]])
+
+    def test_edge_to_foreign_op_rejected(self):
+        loop = two_op_loop()
+        other = two_op_loop()
+        ddg = DDG(ops=list(loop.ops))
+        with pytest.raises(ValueError):
+            ddg.add_edge(
+                Dependence(loop.ops[0], other.ops[0], DepKind.MEM_ANTI, 1, 0)
+            )
+
+    def test_duplicate_edge_keeps_larger_delay(self):
+        loop = two_op_loop()
+        ddg = DDG(ops=list(loop.ops))
+        a, b = loop.ops
+        ddg.add_edge(Dependence(a, b, DepKind.MEM_ANTI, 1, 0))
+        ddg.add_edge(Dependence(a, b, DepKind.MEM_ANTI, 3, 0))
+        assert ddg.n_edges == 1
+        assert next(ddg.edges()).delay == 3
+        # smaller delay does not downgrade
+        ddg.add_edge(Dependence(a, b, DepKind.MEM_ANTI, 2, 0))
+        assert next(ddg.edges()).delay == 3
+
+    def test_loop_carried_vs_intra_partition(self, dot_loop):
+        ddg = build_loop_ddg(dot_loop)
+        carried = ddg.loop_carried_edges()
+        intra = ddg.intra_iteration_edges()
+        assert len(carried) + len(intra) == ddg.n_edges
+        assert all(e.distance > 0 for e in carried)
+        assert all(e.distance == 0 for e in intra)
+
+    def test_topological_order_respects_edges(self, daxpy_loop):
+        ddg = build_loop_ddg(daxpy_loop)
+        order = {op.op_id: i for i, op in enumerate(ddg.topological_order())}
+        for e in ddg.intra_iteration_edges():
+            assert order[e.src.op_id] < order[e.dst.op_id]
+
+    def test_distance_zero_cycle_detected(self):
+        loop = two_op_loop()
+        ddg = DDG(ops=list(loop.ops))
+        a, b = loop.ops
+        ddg.add_edge(Dependence(a, b, DepKind.MEM_ANTI, 1, 0))
+        ddg.add_edge(Dependence(b, a, DepKind.MEM_ANTI, 1, 0))
+        with pytest.raises(ValueError, match="malformed"):
+            ddg.topological_order()
+
+    def test_subgraph_view(self, daxpy_loop):
+        ddg = build_loop_ddg(daxpy_loop)
+        keep = daxpy_loop.ops[:2]
+        sub = ddg.subgraph_view(keep)
+        assert len(sub) == 2
+        for e in sub.edges():
+            assert e.src in sub and e.dst in sub
+
+
+class TestDependenceValidation:
+    def test_negative_delay_rejected(self):
+        loop = two_op_loop()
+        with pytest.raises(ValueError):
+            Dependence(loop.ops[0], loop.ops[1], DepKind.MEM_ANTI, -1, 0)
+
+    def test_negative_distance_rejected(self):
+        loop = two_op_loop()
+        with pytest.raises(ValueError):
+            Dependence(loop.ops[0], loop.ops[1], DepKind.MEM_ANTI, 1, -1)
+
+    def test_flow_requires_register(self):
+        loop = two_op_loop()
+        with pytest.raises(ValueError):
+            Dependence(loop.ops[0], loop.ops[1], DepKind.FLOW, 1, 0)

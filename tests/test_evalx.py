@@ -1,0 +1,137 @@
+"""Tests for the evaluation harness: metrics, runner, tables, figures."""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.results import DEGRADATION_BUCKETS, LoopMetrics
+from repro.evalx.figures import compute_figure
+from repro.evalx.metrics import (
+    arithmetic_mean,
+    bucket_histogram,
+    harmonic_mean,
+    percent_zero_degradation,
+)
+from repro.evalx.runner import config_label, run_evaluation
+from repro.evalx.report import render_full_report
+from repro.evalx.table1 import compute_table1
+from repro.evalx.table2 import compute_table2
+from repro.machine.machine import CopyModel
+from repro.workloads.corpus import spec95_corpus
+
+
+def fake_metrics(ideal_ii, part_ii, name="l"):
+    return LoopMetrics(
+        loop_name=name, machine_name="m", n_ops=10,
+        ideal_ii=ideal_ii, ideal_min_ii=ideal_ii, ideal_rec_ii=1, ideal_res_ii=1,
+        ideal_ipc=10 / ideal_ii,
+        partitioned_ii=part_ii, partitioned_min_ii=part_ii,
+        partitioned_ipc=10 / part_ii,
+        n_kernel_ops=10, n_body_copies=0, n_preheader_copies=0,
+        n_registers=8, n_components=1,
+    )
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([100, 120, 140]) == 120
+
+    def test_harmonic_leq_arithmetic(self):
+        vals = [100.0, 150.0, 300.0]
+        assert harmonic_mean(vals) <= arithmetic_mean(vals)
+
+    def test_harmonic_of_constant(self):
+        assert harmonic_mean([5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+
+class TestHistograms:
+    def test_buckets_sum_to_100(self):
+        ms = [fake_metrics(2, 2), fake_metrics(2, 3), fake_metrics(4, 9)]
+        hist = bucket_histogram(ms)
+        assert sum(hist.values()) == pytest.approx(100.0)
+        assert set(hist) == set(DEGRADATION_BUCKETS)
+        assert hist["0.00%"] == pytest.approx(100 / 3)
+        assert hist[">90%"] == pytest.approx(100 / 3)
+
+    def test_percent_zero(self):
+        ms = [fake_metrics(2, 2), fake_metrics(2, 4)]
+        assert percent_zero_degradation(ms) == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_histogram([])
+
+
+class TestSmallEvaluation:
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        loops = spec95_corpus(n=30)
+        return run_evaluation(
+            loops=loops,
+            config=PipelineConfig(run_regalloc=False),
+            configs=((2, CopyModel.EMBEDDED), (2, CopyModel.COPY_UNIT)),
+        )
+
+    def test_run_structure(self, small_run):
+        assert not small_run.failures
+        label = config_label(2, CopyModel.EMBEDDED)
+        assert label in small_run.per_config
+        assert len(small_run.per_config[label]) == 30
+        assert small_run.elapsed_seconds > 0
+
+    def test_table1_partial_configs(self, small_run):
+        t1 = compute_table1(small_run)
+        key = (2, CopyModel.EMBEDDED)
+        assert key in t1.clustered_ipc
+        assert (4, CopyModel.EMBEDDED) not in t1.clustered_ipc
+        assert t1.ideal_ipc > 0
+
+    def test_table2_normalization(self, small_run):
+        t2 = compute_table2(small_run)
+        key = (2, CopyModel.EMBEDDED)
+        assert t2.arith[key] >= 100.0
+        assert t2.harmonic[key] <= t2.arith[key]
+
+    def test_figure(self, small_run):
+        fig = compute_figure(small_run, 2)
+        assert fig.figure_number == 5
+        assert sum(fig.embedded.values()) == pytest.approx(100.0)
+        assert 0 <= fig.zero_degradation_pct <= 100
+        text = fig.format()
+        assert "Figure 5" in text and "0.00%" in text
+
+    def test_figure_requires_both_models(self, small_run):
+        with pytest.raises(KeyError):
+            compute_figure(small_run, 4)  # not in this small run
+
+    def test_figure_bad_cluster_count(self, small_run):
+        with pytest.raises(ValueError):
+            compute_figure(small_run, 3)
+
+    def test_metrics_for_accessor(self, small_run):
+        ms = small_run.metrics_for(2, CopyModel.EMBEDDED)
+        assert all(isinstance(m, LoopMetrics) for m in ms)
+
+
+class TestTableFormatting:
+    def test_table_formats_include_paper_rows(self):
+        loops = spec95_corpus(n=8)
+        run = run_evaluation(loops=loops, config=PipelineConfig(run_regalloc=False))
+        t1, t2 = compute_table1(run), compute_table2(run)
+        assert "(paper)" in t1.format()
+        assert "Ideal" in t1.format()
+        assert "Arithmetic Mean" in t2.format()
+        assert "(paper arith)" in t2.format()
+        report = render_full_report(run)
+        assert "Table 1" in report and "Table 2" in report
+        assert "Figure 5" in report and "Figure 7" in report
+        assert "Zero-degradation" in report

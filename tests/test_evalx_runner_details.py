@@ -1,0 +1,61 @@
+"""Detail tests for the evaluation runner's small surfaces."""
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.results import DEGRADATION_BUCKETS
+from repro.evalx.runner import EvalRun, PAPER_CONFIG_ORDER, config_label, run_evaluation
+from repro.machine.machine import CopyModel
+from repro.workloads.corpus import spec95_corpus
+
+
+class TestConfigLabels:
+    def test_label_format(self):
+        assert config_label(2, CopyModel.EMBEDDED) == "2 Clusters / Embedded"
+        assert config_label(8, CopyModel.COPY_UNIT) == "8 Clusters / Copy Unit"
+
+    def test_paper_order_is_tables_column_order(self):
+        assert PAPER_CONFIG_ORDER[0] == (2, CopyModel.EMBEDDED)
+        assert PAPER_CONFIG_ORDER[-1] == (8, CopyModel.COPY_UNIT)
+        assert len(PAPER_CONFIG_ORDER) == 6
+
+    def test_config_labels_follow_paper_order(self):
+        run = run_evaluation(
+            loops=spec95_corpus(n=5),
+            config=PipelineConfig(run_regalloc=False),
+            configs=((4, CopyModel.COPY_UNIT), (2, CopyModel.EMBEDDED)),
+        )
+        # labels come back in PAPER order regardless of execution order
+        assert run.config_labels() == [
+            config_label(2, CopyModel.EMBEDDED),
+            config_label(4, CopyModel.COPY_UNIT),
+        ]
+
+    def test_machines_recorded(self):
+        run = run_evaluation(
+            loops=spec95_corpus(n=3),
+            config=PipelineConfig(run_regalloc=False),
+            configs=((2, CopyModel.EMBEDDED),),
+        )
+        label = config_label(2, CopyModel.EMBEDDED)
+        assert run.machines[label].n_clusters == 2
+
+
+class TestBucketsConstant:
+    def test_eleven_buckets_in_figure_order(self):
+        assert len(DEGRADATION_BUCKETS) == 11
+        assert DEGRADATION_BUCKETS[0] == "0.00%"
+        assert DEGRADATION_BUCKETS[-1] == ">90%"
+        # interior buckets strictly ascending
+        interior = [int(b[1:-1]) for b in DEGRADATION_BUCKETS[1:-1]]
+        assert interior == sorted(interior)
+
+
+class TestScheduledWithSwingThroughRunner:
+    def test_runner_accepts_alternate_scheduler(self):
+        run = run_evaluation(
+            loops=spec95_corpus(n=6),
+            config=PipelineConfig(run_regalloc=False, scheduler="swing"),
+            configs=((4, CopyModel.EMBEDDED),),
+        )
+        assert not run.failures
+        metrics = run.metrics_for(4, CopyModel.EMBEDDED)
+        assert len(metrics) == 6

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must actually run.
+
+Examples are documentation; these tests keep them from rotting as the
+library evolves.  Each runs as a subprocess exactly the way a user
+would invoke it (the slow full-corpus study uses its --quick flag).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "register component graph" in out
+        assert "simulator checked  True" in out
+
+    def test_partitioning_example(self):
+        out = run_example("partitioning_example.py")
+        assert "Figure 1" in out and "Figure 3" in out
+        assert "2 copies" in out
+
+    def test_corpus_study_quick(self):
+        out = run_example("corpus_study.py", "--quick")
+        assert "Table 1" in out and "Figure 7" in out
+
+    def test_machine_explorer(self):
+        out = run_example("machine_explorer.py", "dot")
+        assert "cluster count sweep" in out
+        assert "copy latency sweep" in out.lower() or "latency sweep" in out
+
+    def test_whole_function(self):
+        out = run_example("whole_function.py")
+        assert "depth-weighted degradation" in out
+
+    def test_machine_explorer_rejects_unknown_kernel(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "machine_explorer.py"), "nope"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode != 0
+        assert "unknown kernel" in proc.stderr

@@ -1,0 +1,101 @@
+"""Unit tests for repro.ir.builder, repro.ir.block and repro.ir.function."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.function import Function
+from repro.ir.types import DataType, Immediate
+
+
+class TestLoopBuilder:
+    def test_register_dtype_inferred_from_name(self):
+        b = LoopBuilder("t")
+        assert b.reg("r1").dtype is DataType.INT
+        assert b.reg("f1").dtype is DataType.FLOAT
+
+    def test_numeric_operands_become_immediates(self):
+        b = LoopBuilder("t")
+        assert b.operand(3) == Immediate(3, DataType.INT)
+        imm = b.operand(2.5)
+        assert imm.dtype is DataType.FLOAT
+
+    def test_auto_live_in_detection(self):
+        b = LoopBuilder("t")
+        b.fload("f1", "x")
+        b.fmul("f2", "f1", "fa")  # fa never defined -> live-in
+        b.fstore("f2", "y")
+        loop = b.build()
+        assert any(r.name == "fa" for r in loop.live_in)
+
+    def test_explicit_live_out(self):
+        b = LoopBuilder("t")
+        b.fload("f1", "x")
+        b.fadd("f2", "f2", "f1")
+        b.live_out("f2")
+        loop = b.build()
+        assert any(r.name == "f2" for r in loop.live_out)
+
+    def test_build_block_has_depth(self):
+        b = LoopBuilder("t", depth=2)
+        b.load("r1", "x")
+        block = b.build_block()
+        assert block.depth == 2
+        assert len(block) == 1
+
+
+class TestLoopStructure:
+    def test_definition_of(self):
+        b = LoopBuilder("t")
+        b.fload("f1", "x")
+        b.fmul("f2", "f1", "f1")
+        loop = b.build()
+        op = loop.definition_of(loop.factory.get("f2"))
+        assert op is not None and op.dest.name == "f2"
+        assert loop.definition_of(loop.factory.get("f1")) is not None
+
+    def test_registers_includes_boundary(self):
+        b = LoopBuilder("t")
+        b.fload("f1", "x")
+        b.fmul("f2", "f1", "fa")
+        b.fstore("f2", "y")
+        loop = b.build()
+        names = {r.name for r in loop.registers()}
+        assert {"f1", "f2", "fa"} <= names
+
+    def test_defined_registers(self):
+        b = LoopBuilder("t")
+        b.fload("f1", "x")
+        b.fstore("f1", "y")
+        loop = b.build()
+        assert {r.name for r in loop.defined_registers()} == {"f1"}
+
+    def test_block_index_of(self):
+        b = LoopBuilder("t")
+        op1 = b.fload("f1", "x")
+        op2 = b.fstore("f1", "y")
+        loop = b.build()
+        assert loop.body.index_of(op1) == 0
+        assert loop.body.index_of(op2) == 1
+        with pytest.raises(ValueError):
+            loop.body.index_of(op1.clone())
+
+
+class TestFunction:
+    def test_blocks_and_lookup(self):
+        fn = Function("f")
+        b = LoopBuilder("b0", depth=0)
+        b.load("r1", "x")
+        fn.add_block(b.build_block())
+        assert fn.block("b0.block").depth == 0
+        assert fn.n_operations == 1
+        with pytest.raises(KeyError):
+            fn.block("nope")
+
+    def test_duplicate_block_rejected(self):
+        fn = Function("f")
+        b = LoopBuilder("b0", depth=0)
+        b.load("r1", "x")
+        blk = b.build_block()
+        fn.add_block(blk)
+        with pytest.raises(ValueError):
+            fn.add_block(blk)

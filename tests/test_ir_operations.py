@@ -1,0 +1,108 @@
+"""Unit tests for repro.ir.operations."""
+
+import pytest
+
+from repro.ir.operations import (
+    OPCODE_INFO,
+    OpClass,
+    Opcode,
+    Operation,
+    make_copy,
+)
+from repro.ir.registers import RegisterFactory
+from repro.ir.types import DataType, Immediate, MemRef
+
+
+@pytest.fixture
+def regs():
+    f = RegisterFactory()
+    return {
+        "a": f.new(DataType.INT, name="ra"),
+        "b": f.new(DataType.INT, name="rb"),
+        "x": f.new(DataType.FLOAT, name="fx"),
+        "y": f.new(DataType.FLOAT, name="fy"),
+    }
+
+
+class TestOpcodeMetadata:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_INFO
+
+    def test_copy_classes(self):
+        assert Opcode.COPY.opclass is OpClass.COPY_INT
+        assert Opcode.FCOPY.opclass is OpClass.COPY_FLOAT
+        assert Opcode.COPY.info.is_copy and Opcode.FCOPY.info.is_copy
+
+    def test_memory_flags(self):
+        assert Opcode.LOAD.info.reads_mem and not Opcode.LOAD.info.writes_mem
+        assert Opcode.STORE.info.writes_mem and not Opcode.STORE.info.reads_mem
+
+    def test_commutativity_tags(self):
+        assert Opcode.ADD.info.commutative
+        assert not Opcode.SUB.info.commutative
+
+
+class TestOperationConstruction:
+    def test_missing_dest_rejected(self, regs):
+        with pytest.raises(ValueError):
+            Operation(opcode=Opcode.ADD, dest=None, sources=(regs["a"], regs["b"]))
+
+    def test_store_cannot_define(self, regs):
+        with pytest.raises(ValueError):
+            Operation(
+                opcode=Opcode.STORE,
+                dest=regs["a"],
+                sources=(regs["b"],),
+                mem=MemRef("m"),
+            )
+
+    def test_memref_required_for_loads(self, regs):
+        with pytest.raises(ValueError):
+            Operation(opcode=Opcode.LOAD, dest=regs["a"])
+
+    def test_memref_forbidden_for_alu(self, regs):
+        with pytest.raises(ValueError):
+            Operation(
+                opcode=Opcode.ADD,
+                dest=regs["a"],
+                sources=(regs["b"], regs["b"]),
+                mem=MemRef("m"),
+            )
+
+    def test_defined_and_used_sets(self, regs):
+        op = Operation(opcode=Opcode.ADD, dest=regs["a"], sources=(regs["b"], Immediate(1)))
+        assert op.defined() == (regs["a"],)
+        assert op.used() == (regs["b"],)
+
+    def test_registers_iterates_defs_then_uses(self, regs):
+        op = Operation(opcode=Opcode.ADD, dest=regs["a"], sources=(regs["b"], regs["b"]))
+        assert list(op.registers()) == [regs["a"], regs["b"], regs["b"]]
+
+    def test_clone_gets_fresh_identity(self, regs):
+        op = Operation(opcode=Opcode.ADD, dest=regs["a"], sources=(regs["b"], regs["b"]))
+        clone = op.clone()
+        assert clone.op_id != op.op_id
+        assert clone.opcode is op.opcode
+        assert clone.dest is op.dest
+
+    def test_identity_hash(self, regs):
+        op1 = Operation(opcode=Opcode.ADD, dest=regs["a"], sources=(regs["b"], regs["b"]))
+        assert op1 in {op1}
+        assert op1.clone() != op1
+
+
+class TestMakeCopy:
+    def test_int_copy(self, regs):
+        cp = make_copy(regs["a"], regs["b"], cluster=1)
+        assert cp.opcode is Opcode.COPY
+        assert cp.cluster == 1
+        assert cp.is_copy
+
+    def test_float_copy(self, regs):
+        cp = make_copy(regs["x"], regs["y"])
+        assert cp.opcode is Opcode.FCOPY
+
+    def test_cross_type_copy_rejected(self, regs):
+        with pytest.raises(ValueError):
+            make_copy(regs["a"], regs["x"])

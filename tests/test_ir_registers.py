@@ -1,0 +1,66 @@
+"""Unit tests for repro.ir.registers."""
+
+import pytest
+
+from repro.ir.registers import RegisterFactory, SymbolicRegister
+from repro.ir.types import DataType
+
+
+class TestRegisterFactory:
+    def test_new_autonames_by_dtype(self):
+        f = RegisterFactory()
+        r = f.new(DataType.INT)
+        g = f.new(DataType.FLOAT)
+        assert r.name.startswith("r")
+        assert g.name.startswith("f")
+
+    def test_rids_globally_unique_across_factories(self):
+        a = RegisterFactory().new(DataType.INT)
+        b = RegisterFactory().new(DataType.INT)
+        assert a.rid != b.rid
+
+    def test_named_creates_then_returns_same(self):
+        f = RegisterFactory()
+        r1 = f.named("acc", DataType.FLOAT)
+        r2 = f.named("acc", DataType.FLOAT)
+        assert r1 is r2
+
+    def test_named_dtype_conflict_rejected(self):
+        f = RegisterFactory()
+        f.named("v", DataType.INT)
+        with pytest.raises(ValueError):
+            f.named("v", DataType.FLOAT)
+
+    def test_duplicate_explicit_name_rejected(self):
+        f = RegisterFactory()
+        f.new(DataType.INT, name="x")
+        with pytest.raises(ValueError):
+            f.new(DataType.INT, name="x")
+
+    def test_get_missing_returns_none(self):
+        assert RegisterFactory().get("nope") is None
+
+    def test_all_registers_in_creation_order(self):
+        f = RegisterFactory()
+        names = [f.new(DataType.INT).name for _ in range(5)]
+        assert [r.name for r in f.all_registers()] == names
+
+    def test_len(self):
+        f = RegisterFactory()
+        f.new(DataType.INT)
+        f.new(DataType.FLOAT)
+        assert len(f) == 2
+
+
+class TestSymbolicRegister:
+    def test_str_is_name(self):
+        r = SymbolicRegister(1, "r1", DataType.INT)
+        assert str(r) == "r1"
+
+    def test_is_float(self):
+        assert SymbolicRegister(1, "f1", DataType.FLOAT).is_float
+        assert not SymbolicRegister(2, "r1", DataType.INT).is_float
+
+    def test_hashable_usable_in_sets(self):
+        r = SymbolicRegister(1, "r1", DataType.INT)
+        assert r in {r}

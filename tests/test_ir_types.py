@@ -1,0 +1,69 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import DataType, Immediate, MemRef
+
+
+class TestDataType:
+    def test_float_flag(self):
+        assert DataType.FLOAT.is_float
+        assert not DataType.INT.is_float
+
+    def test_short_prefixes(self):
+        assert DataType.INT.short == "r"
+        assert DataType.FLOAT.short == "f"
+
+
+class TestImmediate:
+    def test_int_immediate(self):
+        imm = Immediate(7, DataType.INT)
+        assert str(imm) == "7"
+
+    def test_float_immediate(self):
+        imm = Immediate(2.0, DataType.FLOAT)
+        assert str(imm) == "2.0"
+
+    def test_fractional_int_rejected(self):
+        with pytest.raises(ValueError):
+            Immediate(1.5, DataType.INT)
+
+    def test_immediates_hashable_and_equal(self):
+        assert Immediate(3, DataType.INT) == Immediate(3, DataType.INT)
+        assert hash(Immediate(3, DataType.INT)) == hash(Immediate(3, DataType.INT))
+
+
+class TestMemRef:
+    def test_str_forms(self):
+        assert str(MemRef("a")) == "a[i]"
+        assert str(MemRef("a", 2)) == "a[i+2]"
+        assert str(MemRef("a", -3)) == "a[i-3]"
+        assert str(MemRef("x", scalar=True)) == "x"
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            MemRef("")
+
+    def test_distance_same_offset(self):
+        # a[i] then a[i] d iterations later: same address only at d=0
+        assert MemRef("a", 0).same_location_distance(MemRef("a", 0)) == 0
+
+    def test_distance_recurrence(self):
+        # store a[i]; load a[i-1] next iteration: distance 1
+        assert MemRef("a", 0).same_location_distance(MemRef("a", -1)) == 1
+
+    def test_distance_negative_is_none(self):
+        # store a[i]; load a[i+2]: the load would have to happen EARLIER
+        assert MemRef("a", 0).same_location_distance(MemRef("a", 2)) is None
+
+    def test_different_arrays_never_alias(self):
+        assert MemRef("a", 0).same_location_distance(MemRef("b", 0)) is None
+
+    def test_scalar_vs_array_disjoint(self):
+        assert MemRef("a", scalar=True).same_location_distance(MemRef("a", 0)) is None
+
+    def test_scalar_scalar(self):
+        assert (
+            MemRef("s", scalar=True).same_location_distance(MemRef("s", scalar=True))
+            == 0
+        )

@@ -1,0 +1,99 @@
+"""Failure-injection tests for the IR verifier."""
+
+import pytest
+
+from repro.ir.block import BasicBlock, Loop
+from repro.ir.builder import LoopBuilder
+from repro.ir.operations import Opcode, Operation
+from repro.ir.registers import RegisterFactory
+from repro.ir.types import DataType, MemRef
+from repro.ir.verify import IRVerificationError, verify_loop
+
+
+def test_empty_body_rejected():
+    loop = Loop(name="empty", body=BasicBlock("b", []))
+    with pytest.raises(IRVerificationError, match="empty body"):
+        verify_loop(loop)
+
+
+def test_double_definition_rejected():
+    f = RegisterFactory()
+    r = f.new(DataType.FLOAT, name="fv")
+    ops = [
+        Operation(opcode=Opcode.FLOAD, dest=r, mem=MemRef("a")),
+        Operation(opcode=Opcode.FLOAD, dest=r, mem=MemRef("b")),
+    ]
+    loop = Loop(name="dd", body=BasicBlock("b", ops), factory=f)
+    with pytest.raises(IRVerificationError, match="single-assignment"):
+        verify_loop(loop)
+
+
+def test_undeclared_use_rejected():
+    f = RegisterFactory()
+    ghost = f.new(DataType.FLOAT, name="fghost")
+    ops = [Operation(opcode=Opcode.FSTORE, sources=(ghost,), mem=MemRef("a"))]
+    loop = Loop(name="u", body=BasicBlock("b", ops), factory=f)
+    with pytest.raises(IRVerificationError, match="neither defined"):
+        verify_loop(loop)
+
+
+def test_live_in_use_accepted():
+    f = RegisterFactory()
+    ext = f.new(DataType.FLOAT, name="fext")
+    ops = [Operation(opcode=Opcode.FSTORE, sources=(ext,), mem=MemRef("a"))]
+    loop = Loop(name="ok", body=BasicBlock("b", ops), factory=f, live_in={ext})
+    verify_loop(loop)  # no raise
+
+
+def test_undefined_live_out_rejected():
+    f = RegisterFactory()
+    r = f.new(DataType.FLOAT, name="fr")
+    phantom = f.new(DataType.FLOAT, name="fphantom")
+    ops = [Operation(opcode=Opcode.FLOAD, dest=r, mem=MemRef("a"))]
+    loop = Loop(
+        name="lo", body=BasicBlock("b", ops), factory=f, live_out={phantom}
+    )
+    with pytest.raises(IRVerificationError, match="never defined"):
+        verify_loop(loop)
+
+
+def test_fp_op_reading_int_register_rejected():
+    f = RegisterFactory()
+    ri = f.new(DataType.INT, name="ri")
+    fd = f.new(DataType.FLOAT, name="fd")
+    ops = [
+        Operation(opcode=Opcode.FADD, dest=fd, sources=(ri, ri)),
+    ]
+    loop = Loop(name="ty", body=BasicBlock("b", ops), factory=f, live_in={ri})
+    with pytest.raises(IRVerificationError, match="integer register"):
+        verify_loop(loop)
+
+
+def test_wrong_result_dtype_rejected():
+    f = RegisterFactory()
+    ri = f.new(DataType.INT, name="rw")
+    ops = [Operation(opcode=Opcode.FLOAD, dest=ri, mem=MemRef("a"))]
+    loop = Loop(name="rd", body=BasicBlock("b", ops), factory=f)
+    with pytest.raises(IRVerificationError, match="expected float"):
+        verify_loop(loop)
+
+
+def test_builder_verifies_on_build():
+    b = LoopBuilder("t")
+    b.fload("f1", "x")
+    b.build()  # fine
+    b2 = LoopBuilder("t2")
+    op = b2.fload("f1", "x")
+    b2.fload("f2", "y")
+    # sabotage: duplicate definition via direct op injection
+    b2._ops.append(op.clone())
+    with pytest.raises(IRVerificationError):
+        b2.build()
+
+
+def test_accumulator_self_use_is_legal():
+    b = LoopBuilder("acc")
+    b.fload("f1", "x")
+    b.fadd("f2", "f2", "f1")
+    b.live_out("f2")
+    verify_loop(b.build(verify=False))

@@ -1,0 +1,71 @@
+"""Tests for pipeline expansion (prelude / kernel / postlude)."""
+
+import pytest
+
+from repro.ddg.builder import build_loop_ddg
+from repro.sched.modulo.kernel import expand_pipeline
+from repro.sched.modulo.scheduler import modulo_schedule
+
+
+@pytest.fixture
+def daxpy_kernel(daxpy_loop, ideal16):
+    ddg = build_loop_ddg(daxpy_loop)
+    return modulo_schedule(daxpy_loop, ddg, ideal16)
+
+
+class TestExpansion:
+    def test_issue_times_follow_modulo_rule(self, daxpy_kernel):
+        trip = 5
+        exp = expand_pipeline(daxpy_kernel, trip)
+        for slot in exp.slots:
+            expected = slot.iteration * daxpy_kernel.ii + daxpy_kernel.time_of(slot.op)
+            assert slot.cycle == expected
+
+    def test_slot_count(self, daxpy_kernel):
+        trip = 4
+        exp = expand_pipeline(daxpy_kernel, trip)
+        assert len(exp.slots) == trip * len(daxpy_kernel.loop.ops)
+
+    def test_total_cycles(self, daxpy_kernel):
+        trip = 6
+        exp = expand_pipeline(daxpy_kernel, trip)
+        assert exp.total_cycles == daxpy_kernel.total_cycles(trip)
+        last_issue = max(s.cycle for s in exp.slots)
+        assert last_issue < exp.total_cycles
+
+    def test_phases_ordered(self, daxpy_kernel):
+        exp = expand_pipeline(daxpy_kernel, 12)
+        assert 0 <= exp.prelude_end <= exp.postlude_start <= exp.total_cycles
+        assert exp.phase_of(0) == "prelude" or daxpy_kernel.stage_count == 1
+        assert exp.phase_of(exp.total_cycles - 1) == "postlude"
+
+    def test_short_trip_has_no_steady_state(self, daxpy_kernel):
+        # fewer iterations than stages: the kernel phase can be empty
+        trip = max(1, daxpy_kernel.stage_count - 2)
+        exp = expand_pipeline(daxpy_kernel, trip)
+        assert exp.total_cycles == daxpy_kernel.total_cycles(trip)
+
+    def test_issues_at(self, daxpy_kernel):
+        exp = expand_pipeline(daxpy_kernel, 3)
+        seen = sum(len(exp.issues_at(c)) for c in range(exp.total_cycles))
+        assert seen == len(exp.slots)
+
+    def test_zero_trip_rejected(self, daxpy_kernel):
+        with pytest.raises(ValueError):
+            expand_pipeline(daxpy_kernel, 0)
+
+    def test_format_renders(self, daxpy_kernel):
+        exp = expand_pipeline(daxpy_kernel, 4)
+        text = exp.format(max_cycles=6)
+        assert "pipeline:" in text
+        assert "prelude" in text
+
+    def test_per_cycle_issue_width_bounded(self, daxpy_kernel):
+        """No expanded cycle issues more ops than the machine width —
+        the defining modulo-schedule property."""
+        exp = expand_pipeline(daxpy_kernel, 10)
+        width = daxpy_kernel.machine.width
+        from collections import Counter
+
+        per_cycle = Counter(s.cycle for s in exp.slots)
+        assert max(per_cycle.values()) <= width

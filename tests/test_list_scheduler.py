@@ -1,0 +1,100 @@
+"""Tests for the acyclic list scheduler."""
+
+import pytest
+
+from repro.ddg.builder import build_block_ddg
+from repro.ir.builder import LoopBuilder
+from repro.machine.latency import unit_latencies
+from repro.machine.machine import MachineDescription
+from repro.machine.presets import example_machine_2x1, ideal_machine
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.validate import validate_linear_schedule
+from repro.workloads.kernels import xpos_example_block
+
+
+def chain_block(n=4):
+    b = LoopBuilder("chain", depth=0)
+    b.load("r1", "a", scalar=True)
+    prev = "r1"
+    for i in range(2, n + 2):
+        b.add(f"r{i}", prev, 1)
+        prev = f"r{i}"
+    return b.build_block()
+
+
+class TestListScheduler:
+    def test_serial_chain_is_sequential(self):
+        m = ideal_machine(width=4, latencies=unit_latencies())
+        block = chain_block(4)
+        ddg = build_block_ddg(block, m.latencies)
+        sched = list_schedule(ddg, m)
+        validate_linear_schedule(sched, ddg)
+        times = sorted(sched.times.values())
+        assert times == list(range(5))
+
+    def test_parallel_ops_packed(self):
+        b = LoopBuilder("par", depth=0)
+        for i in range(6):
+            b.load(f"r{i}", f"a{i}", scalar=True)
+        m = ideal_machine(width=2, latencies=unit_latencies())
+        ddg = build_block_ddg(b.build_block(), m.latencies)
+        sched = list_schedule(ddg, m)
+        assert sched.issue_length == 3  # 6 loads over width 2
+
+    def test_width_one_serializes(self):
+        b = LoopBuilder("w1", depth=0)
+        for i in range(4):
+            b.load(f"r{i}", f"a{i}", scalar=True)
+        m = ideal_machine(width=1, latencies=unit_latencies())
+        ddg = build_block_ddg(b.build_block(), m.latencies)
+        sched = list_schedule(ddg, m)
+        assert sched.issue_length == 4
+
+    def test_latency_respected(self):
+        b = LoopBuilder("lat", depth=0)
+        b.load("r1", "a", scalar=True)   # latency 2
+        b.add("r2", "r1", 1)
+        m = ideal_machine(width=4)
+        ddg = build_block_ddg(b.build_block(), m.latencies)
+        sched = list_schedule(ddg, m)
+        ops = b.build_block()  # names only
+        t = {op.dest.name: c for c, group in sched.instructions() for op in group if op.dest}
+        assert t["r2"] >= t["r1"] + 2
+
+    def test_rejects_cyclic_ddg(self, dot_loop):
+        from repro.ddg.builder import build_loop_ddg
+
+        m = ideal_machine()
+        ddg = build_loop_ddg(dot_loop)
+        with pytest.raises(ValueError, match="acyclic"):
+            list_schedule(ddg, m)
+
+    def test_paper_example_ideal_length(self):
+        """Figure 1: the xpos fragment schedules in 7 cycles on a 2-wide
+        unit-latency machine with a monolithic bank."""
+        m = ideal_machine(width=2, latencies=unit_latencies())
+        block = xpos_example_block()
+        ddg = build_block_ddg(block, m.latencies)
+        sched = list_schedule(ddg, m)
+        validate_linear_schedule(sched, ddg)
+        assert sched.length == 7
+
+    def test_clustered_machine_with_pinned_ops(self):
+        m = example_machine_2x1()
+        b = LoopBuilder("pin", depth=0)
+        o1 = b.load("r1", "a", scalar=True)
+        o2 = b.load("r2", "b", scalar=True)
+        block = b.build_block()
+        o1.cluster = 0
+        o2.cluster = 0  # both forced onto the single FU of cluster 0
+        ddg = build_block_ddg(block, m.latencies)
+        sched = list_schedule(ddg, m)
+        assert sched.issue_length == 2
+
+    def test_format_contains_all_cycles(self):
+        m = ideal_machine(width=2, latencies=unit_latencies())
+        block = chain_block(2)
+        ddg = build_block_ddg(block, m.latencies)
+        sched = list_schedule(ddg, m)
+        text = sched.format()
+        assert text.count("\n") + 1 == sched.issue_length

@@ -1,0 +1,142 @@
+"""Unit tests for the machine model package."""
+
+import pytest
+
+from repro.ir.operations import OpClass, Opcode, Operation
+from repro.ir.registers import RegisterFactory
+from repro.ir.types import DataType, MemRef
+from repro.machine.latency import PAPER_LATENCIES, LatencyTable, unit_latencies
+from repro.machine.machine import CopyModel, MachineDescription, default_copy_ports
+from repro.machine.presets import (
+    all_paper_configs,
+    example_machine_2x1,
+    ideal_machine,
+    paper_machine,
+    prior_work_machine_4wide,
+)
+
+
+class TestLatencyTable:
+    def test_paper_values(self):
+        t = PAPER_LATENCIES
+        assert t.of_class(OpClass.LOAD) == 2
+        assert t.of_class(OpClass.STORE) == 4
+        assert t.of_class(OpClass.IALU) == 1
+        assert t.of_class(OpClass.IMUL) == 5
+        assert t.of_class(OpClass.IDIV) == 12
+        assert t.of_class(OpClass.FMUL) == 2
+        assert t.of_class(OpClass.FDIV) == 2
+        assert t.of_class(OpClass.FALU) == 2
+        assert t.of_class(OpClass.COPY_INT) == 2
+        assert t.of_class(OpClass.COPY_FLOAT) == 3
+
+    def test_of_operation(self):
+        f = RegisterFactory()
+        r = f.new(DataType.FLOAT)
+        op = Operation(opcode=Opcode.FLOAD, dest=r, mem=MemRef("a"))
+        assert PAPER_LATENCIES.of(op) == 2
+
+    def test_unit_latencies_all_one(self):
+        t = unit_latencies()
+        assert all(t.of_class(c) == 1 for c in OpClass)
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            LatencyTable({OpClass.LOAD: 2})
+
+    def test_nonpositive_latency_rejected(self):
+        bad = {c: 1 for c in OpClass}
+        bad[OpClass.LOAD] = 0
+        with pytest.raises(ValueError, match=">= 1"):
+            LatencyTable(bad)
+
+    def test_replaced_overrides(self):
+        t = PAPER_LATENCIES.replaced(load=5)
+        assert t.of_class(OpClass.LOAD) == 5
+        assert t.of_class(OpClass.STORE) == 4
+        with pytest.raises(KeyError):
+            PAPER_LATENCIES.replaced(bogus=1)
+
+
+class TestMachineDescription:
+    def test_width(self):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        assert m.width == 16
+        assert m.fus_per_cluster == 4
+
+    def test_monolithic_needs_no_copy_model(self):
+        m = ideal_machine()
+        assert not m.is_clustered
+        assert m.copy_bandwidth_per_cycle() == 0
+
+    def test_clustered_requires_copy_model(self):
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad", n_clusters=2, fus_per_cluster=2, copy_model=CopyModel.NONE
+            )
+
+    def test_monolithic_cannot_have_copy_model(self):
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad", n_clusters=1, fus_per_cluster=4,
+                copy_model=CopyModel.EMBEDDED,
+            )
+
+    def test_copy_unit_requires_ports_and_buses(self):
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad", n_clusters=2, fus_per_cluster=2,
+                copy_model=CopyModel.COPY_UNIT,
+            )
+
+    def test_validate_cluster(self):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        m.validate_cluster(None)
+        m.validate_cluster(3)
+        with pytest.raises(ValueError):
+            m.validate_cluster(4)
+
+    def test_copy_bandwidth(self):
+        emb = paper_machine(4, CopyModel.EMBEDDED)
+        assert emb.copy_bandwidth_per_cycle() == 16
+        cu = paper_machine(4, CopyModel.COPY_UNIT)
+        assert cu.copy_bandwidth_per_cycle() == 4  # min(4 buses, 4*2 ports)
+
+    def test_describe(self):
+        assert "copy_unit" in paper_machine(2, CopyModel.COPY_UNIT).describe()
+
+
+class TestPresets:
+    def test_default_copy_ports_matches_paper_datapoints(self):
+        # paper: 2 clusters -> 1 port each; 8 clusters -> 3 ports each
+        assert default_copy_ports(2) == 1
+        assert default_copy_ports(4) == 2
+        assert default_copy_ports(8) == 3
+
+    def test_paper_machine_buses(self):
+        m = paper_machine(8, CopyModel.COPY_UNIT)
+        assert m.n_buses == 8
+        assert m.copy_ports_per_cluster == 3
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            paper_machine(3, CopyModel.EMBEDDED)
+
+    def test_all_paper_configs_order(self):
+        configs = all_paper_configs()
+        assert len(configs) == 6
+        assert [c.n_clusters for c in configs] == [2, 2, 4, 4, 8, 8]
+        assert all(c.width == 16 for c in configs)
+
+    def test_example_machine(self):
+        m = example_machine_2x1()
+        assert m.n_clusters == 2 and m.fus_per_cluster == 1
+        assert all(m.latencies.of_class(c) == 1 for c in OpClass)
+
+    def test_prior_work_machine(self):
+        m = prior_work_machine_4wide()
+        assert m.width == 4 and m.n_clusters == 4
+
+    def test_ideal_machine_rejects_copy_preset(self):
+        with pytest.raises(ValueError):
+            paper_machine(4, CopyModel.NONE)

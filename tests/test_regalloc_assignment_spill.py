@@ -1,0 +1,112 @@
+"""Tests for per-bank assignment and spill-code insertion."""
+
+import pytest
+
+from repro.core.greedy import Partition
+from repro.ddg.builder import build_loop_ddg
+from repro.ir.verify import verify_loop
+from repro.machine.machine import CopyModel, MachineDescription
+from repro.machine.presets import ideal_machine, paper_machine
+from repro.regalloc.assignment import assign_banks
+from repro.regalloc.spill import spill_registers
+from repro.sched.modulo.scheduler import modulo_schedule
+from repro.sim.reference import run_reference
+from repro.workloads.kernels import make_kernel
+
+
+def single_bank_setup(loop, machine):
+    ddg = build_loop_ddg(loop, machine.latencies)
+    ks = modulo_schedule(loop, ddg, machine)
+    part = Partition(n_banks=machine.n_clusters if machine.is_clustered else 1)
+    for reg in loop.registers():
+        part.assign(reg, 0)
+    return ks, ddg, part
+
+
+class TestAssignBanks:
+    def test_success_with_roomy_banks(self, daxpy_loop):
+        m = ideal_machine()
+        ks, ddg, part = single_bank_setup(daxpy_loop, m)
+        out = assign_banks(ks, ddg, part, m)
+        assert out.success
+        assert out.max_pressure > 0
+        assert out.unroll >= 1
+        # every liveness name got a physical register
+        for (rid, rep), (bank, idx) in out.physical.items():
+            assert bank == 0
+            assert 0 <= idx < m.regs_per_bank
+        assert out.physical_name(daxpy_loop.factory.get("f1").rid).startswith("b0.r")
+
+    def test_physical_assignment_proper(self, daxpy_loop):
+        m = ideal_machine()
+        ks, ddg, part = single_bank_setup(daxpy_loop, m)
+        out = assign_banks(ks, ddg, part, m)
+        for bank, coloring in out.per_bank.items():
+            assert coloring.success
+
+    def test_failure_reports_spill_candidates(self):
+        m = MachineDescription(
+            name="tight", n_clusters=1, fus_per_cluster=16, regs_per_bank=4
+        )
+        loop = make_kernel("lfk7_state")
+        ks, ddg, part = single_bank_setup(loop, m)
+        out = assign_banks(ks, ddg, part, m)
+        assert not out.success
+        assert out.spill_candidates
+        # invariants are never nominated
+        invariant_names = {"fr", "ft", "fq"}
+        assert not invariant_names & {r.name for r in out.spill_candidates}
+
+
+class TestSpillRewrite:
+    def test_spill_preserves_semantics(self):
+        loop = make_kernel("lfk1_hydro")
+        reference = run_reference(loop, trip_count=6)
+        target = loop.factory.get("f6")
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        spilled, n = spill_registers(loop, [target], m)
+        assert n == 1
+        verify_loop(spilled)
+        after = run_reference(spilled, trip_count=6)
+        for key, val in reference.memory.items():
+            if not key[0].startswith("__spill"):
+                assert after.memory[key] == pytest.approx(val)
+
+    def test_accumulator_spill_round_trips_through_memory(self, dot_loop):
+        reference = run_reference(dot_loop, trip_count=7)
+        f4 = dot_loop.factory.get("f4")
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        spilled, _ = spill_registers(dot_loop, [f4], m)
+        verify_loop(spilled)
+        after = run_reference(spilled, trip_count=7)
+        # the accumulator's final value now lives in its spill slot
+        assert after.memory[("__spill_f4", 0)] == pytest.approx(
+            reference.registers[f4.rid]
+        )
+
+    def test_unspillable_candidates_raise(self, daxpy_loop):
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        fa = daxpy_loop.factory.get("fa")  # live-in: no defining op
+        with pytest.raises(RuntimeError, match="no spillable"):
+            spill_registers(daxpy_loop, [fa], m)
+
+    def test_spill_adds_store_after_def_and_load_before_use(self, daxpy_loop):
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        f3 = daxpy_loop.factory.get("f3")
+        spilled, _ = spill_registers(daxpy_loop, [f3], m)
+        kinds = [op.opcode.value for op in spilled.ops]
+        # original 5 ops + 1 store + 1 reload
+        assert len(spilled.ops) == 7
+        store_idx = next(
+            i for i, op in enumerate(spilled.ops)
+            if op.writes_mem and op.mem.array.startswith("__spill")
+        )
+        load_idx = next(
+            i for i, op in enumerate(spilled.ops)
+            if op.reads_mem and op.mem.array.startswith("__spill")
+        )
+        def_idx = next(
+            i for i, op in enumerate(spilled.ops)
+            if op.dest is not None and op.dest.name == "f3"
+        )
+        assert def_idx < store_idx < load_idx

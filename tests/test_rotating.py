@@ -1,0 +1,95 @@
+"""Tests for rotating-register-file allocation."""
+
+import pytest
+
+from repro.ddg.builder import build_loop_ddg
+from repro.machine.presets import ideal_machine
+from repro.regalloc.liveness import cyclic_liveness
+from repro.regalloc.rotating import allocate_rotating, verify_rotating
+from repro.sched.modulo.scheduler import modulo_schedule
+from repro.workloads.kernels import NAMED_KERNELS, make_kernel
+from repro.workloads.synthetic import PROFILES, SyntheticLoopGenerator
+
+
+def liveness_for(loop, machine=None):
+    machine = machine or ideal_machine()
+    ddg = build_loop_ddg(loop)
+    ks = modulo_schedule(loop, ddg, machine)
+    return cyclic_liveness(ks, ddg), ks
+
+
+class TestRotatingAllocation:
+    @pytest.mark.parametrize("name", sorted(NAMED_KERNELS))
+    def test_every_kernel_allocates_and_verifies(self, name):
+        liv, _ks = liveness_for(make_kernel(name))
+        alloc = allocate_rotating(liv)
+        verify_rotating(alloc, liv, trips=8)
+
+    def test_lower_bound_is_maxlive(self, daxpy_loop):
+        liv, ks = liveness_for(daxpy_loop)
+        alloc = allocate_rotating(liv)
+        window = [0] * ks.ii
+        for lr in liv:
+            if lr.invariant:
+                continue
+            for age in range(lr.lifetime):
+                window[(lr.start + age) % ks.ii] += 1
+        assert alloc.n_rotating >= max(window)
+        # greedy packing lands within a few registers of the bound
+        assert alloc.n_rotating <= max(window) + 4
+
+    def test_invariants_go_static(self, daxpy_loop):
+        liv, _ks = liveness_for(daxpy_loop)
+        alloc = allocate_rotating(liv)
+        fa = daxpy_loop.factory.get("fa")
+        assert fa.rid in alloc.statics
+        assert fa.rid not in alloc.offsets
+        assert alloc.n_static == 1
+
+    def test_physical_rotation(self, dot_loop):
+        liv, _ks = liveness_for(dot_loop)
+        alloc = allocate_rotating(liv)
+        f3 = dot_loop.factory.get("f3")
+        p0 = alloc.physical_of(f3.rid, 0)
+        p1 = alloc.physical_of(f3.rid, 1)
+        if alloc.n_rotating > 1:
+            assert p0 != p1  # the file rotated under the value
+        pN = alloc.physical_of(f3.rid, alloc.n_rotating)
+        assert pN == p0  # full revolution
+
+    def test_verifier_catches_clashes(self, daxpy_loop):
+        liv, _ks = liveness_for(daxpy_loop)
+        alloc = allocate_rotating(liv)
+        # sabotage: give two rotating values the same offset
+        rot_rids = list(alloc.offsets)
+        if len(rot_rids) >= 2:
+            overlapping = None
+            ranges = {lr.reg.rid: lr for lr in liv}
+            for a in rot_rids:
+                for b in rot_rids:
+                    if a < b and ranges[a].start == ranges[b].start:
+                        overlapping = (a, b)
+            if overlapping:
+                alloc.offsets[overlapping[0]] = alloc.offsets[overlapping[1]]
+                with pytest.raises(AssertionError):
+                    verify_rotating(alloc, liv, trips=8)
+
+    def test_random_loops(self):
+        gen = SyntheticLoopGenerator(31)
+        for i in range(10):
+            loop = gen.generate(f"rot_{i}", PROFILES["parallel"])
+            liv, _ks = liveness_for(loop)
+            alloc = allocate_rotating(liv)
+            verify_rotating(alloc, liv, trips=6)
+
+    def test_no_unroll_needed(self):
+        """The headline trade vs MVE: rotating allocation never unrolls
+        the kernel, even when lifetimes far exceed II."""
+        from repro.regalloc.mve import plan_mve
+
+        loop = make_kernel("horner4")  # deep pipeline, II=1, long lifetimes
+        liv, _ks = liveness_for(loop)
+        plan = plan_mve(liv)
+        assert plan.unroll >= 4  # MVE must replicate the kernel
+        alloc = allocate_rotating(liv)
+        verify_rotating(alloc, liv, trips=12)  # rotating does not

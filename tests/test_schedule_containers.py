@@ -1,0 +1,84 @@
+"""Tests for the schedule container types themselves."""
+
+import pytest
+
+from repro.ddg.builder import build_loop_ddg
+from repro.ir.builder import LoopBuilder
+from repro.machine.presets import ideal_machine
+from repro.sched.modulo.scheduler import modulo_schedule
+from repro.sched.schedule import KernelSchedule, LinearSchedule
+
+
+def tiny_loop():
+    b = LoopBuilder("tiny")
+    b.fload("f1", "x")
+    b.fstore("f1", "y")
+    return b.build()
+
+
+class TestLinearSchedule:
+    def test_missing_op_rejected(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        with pytest.raises(ValueError, match="unscheduled"):
+            LinearSchedule(machine=m, ops=list(loop.ops), times={})
+
+    def test_lengths(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        times = {loop.ops[0].op_id: 0, loop.ops[1].op_id: 2}
+        sched = LinearSchedule(machine=m, ops=list(loop.ops), times=times)
+        assert sched.issue_length == 3            # last issue at 2
+        assert sched.length == 2 + 4              # store latency 4
+
+    def test_instructions_iteration(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        times = {loop.ops[0].op_id: 0, loop.ops[1].op_id: 2}
+        sched = LinearSchedule(machine=m, ops=list(loop.ops), times=times)
+        cycles = dict(sched.instructions())
+        assert len(cycles[0]) == 1
+        assert cycles[1] == []
+        assert len(cycles[2]) == 1
+
+    def test_empty_schedule(self):
+        m = ideal_machine()
+        sched = LinearSchedule(machine=m, ops=[], times={})
+        assert sched.length == 0 and sched.issue_length == 0
+
+
+class TestKernelSchedule:
+    def test_bad_ii_rejected(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        times = {op.op_id: 0 for op in loop.ops}
+        with pytest.raises(ValueError):
+            KernelSchedule(machine=m, loop=loop, ii=0, times=times)
+
+    def test_negative_time_rejected(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        times = {loop.ops[0].op_id: -1, loop.ops[1].op_id: 0}
+        with pytest.raises(ValueError, match="negative"):
+            KernelSchedule(machine=m, loop=loop, ii=1, times=times)
+
+    def test_missing_op_rejected(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        with pytest.raises(ValueError, match="missing"):
+            KernelSchedule(machine=m, loop=loop, ii=1, times={})
+
+    def test_flat_length_includes_latency(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        ddg = build_loop_ddg(loop)
+        ks = modulo_schedule(loop, ddg, m)
+        store = loop.ops[1]
+        assert ks.flat_length == ks.time_of(store) + 4
+
+    def test_ipc_definition(self):
+        loop = tiny_loop()
+        m = ideal_machine()
+        ddg = build_loop_ddg(loop)
+        ks = modulo_schedule(loop, ddg, m)
+        assert ks.ipc == len(loop.ops) / ks.ii

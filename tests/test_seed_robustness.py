@@ -1,0 +1,69 @@
+"""Seed-robustness: the reproduction's conclusions must not hinge on the
+one corpus seed the benches use.
+
+Each check reruns a smaller evaluation on corpora generated from
+*different* seeds and asserts the qualitative claims (the ones
+EXPERIMENTS.md stakes) hold for every seed — guarding against
+seed-cherry-picked results.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.ddg.builder import build_loop_ddg
+from repro.machine.machine import CopyModel
+from repro.machine.presets import ideal_machine, paper_machine
+from repro.sched.modulo.scheduler import modulo_schedule
+from repro.workloads.corpus import spec95_corpus
+
+SEEDS = (7, 1234, 999331)
+N = 50
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_corpus(request):
+    return spec95_corpus(n=N, seed=request.param)
+
+
+def mean_normalized(loops, machine):
+    vals = []
+    for loop in loops:
+        r = compile_loop(loop, machine, PipelineConfig(run_regalloc=False))
+        vals.append(r.metrics.normalized_kernel)
+    return statistics.mean(vals)
+
+
+class TestShapeAcrossSeeds:
+    def test_embedded_copyunit_crossover(self, seeded_corpus):
+        """Embedded wins at 2 clusters, copy-unit wins at 8 — for every
+        seed, not just the published one."""
+        emb2 = mean_normalized(seeded_corpus, paper_machine(2, CopyModel.EMBEDDED))
+        cu2 = mean_normalized(seeded_corpus, paper_machine(2, CopyModel.COPY_UNIT))
+        emb8 = mean_normalized(seeded_corpus, paper_machine(8, CopyModel.EMBEDDED))
+        cu8 = mean_normalized(seeded_corpus, paper_machine(8, CopyModel.COPY_UNIT))
+        assert emb2 <= cu2 + 2.0, (emb2, cu2)
+        assert cu8 <= emb8 + 2.0, (cu8, emb8)
+
+    def test_degradation_grows_with_clusters(self, seeded_corpus):
+        means = [
+            mean_normalized(seeded_corpus, paper_machine(n, CopyModel.EMBEDDED))
+            for n in (2, 4, 8)
+        ]
+        assert means[0] <= means[1] + 2.0 <= means[2] + 4.0, means
+
+    def test_everything_compiles(self, seeded_corpus):
+        m = paper_machine(4, CopyModel.COPY_UNIT)
+        for loop in seeded_corpus:
+            result = compile_loop(loop, m, PipelineConfig(run_regalloc=False))
+            assert result.metrics.partitioned_ii >= 1
+
+    def test_ipc_band_is_stable(self, seeded_corpus):
+        """Calibration holds loosely across seeds (the published seed is
+        tuned; others must stay in a generous band)."""
+        m = ideal_machine()
+        ipcs = [
+            modulo_schedule(l, build_loop_ddg(l), m).ipc for l in seeded_corpus
+        ]
+        assert 6.0 <= statistics.mean(ipcs) <= 11.0

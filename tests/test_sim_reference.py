@@ -1,0 +1,119 @@
+"""Tests for the sequential reference interpreter."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.sim.reference import run_reference
+from repro.sim.values import seed_memory, seed_register
+
+
+class TestReferenceSemantics:
+    def test_store_writes_indexed_cells(self):
+        b = LoopBuilder("w")
+        b.fload("f1", "x")
+        b.fstore("f1", "y")
+        loop = b.build()
+        state = run_reference(loop, trip_count=3)
+        for k in range(3):
+            assert state.memory[("y", k)] == state.memory[("x", k)]
+        assert state.store_count == 3
+
+    def test_offsets_shift_addresses(self):
+        b = LoopBuilder("off")
+        b.fload("f1", "x", offset=2)
+        b.fstore("f1", "y")
+        loop = b.build()
+        state = run_reference(loop, trip_count=2)
+        assert state.memory[("y", 0)] == state.memory[("x", 2)]
+        assert state.memory[("y", 1)] == state.memory[("x", 3)]
+
+    def test_accumulator_sums(self):
+        b = LoopBuilder("acc")
+        b.fload("f1", "x")
+        b.fadd("f2", "f2", "f1")
+        b.live_out("f2")
+        loop = b.build()
+        state = run_reference(loop, trip_count=4)
+        f2 = loop.factory.get("f2")
+        expected = seed_register(f2) + sum(
+            seed_memory("x", k, as_float=True) for k in range(4)
+        )
+        assert state.registers[f2.rid] == pytest.approx(expected)
+
+    def test_use_before_def_reads_previous_iteration(self):
+        b = LoopBuilder("ubd")
+        b.fstore("f1", "out")   # stores PREVIOUS iteration's f1
+        b.fload("f1", "x")
+        loop = b.build()
+        state = run_reference(loop, trip_count=3)
+        f1 = loop.factory.get("f1")
+        assert state.memory[("out", 0)] == seed_register(f1)
+        assert state.memory[("out", 1)] == state.memory[("x", 0)]
+        assert state.memory[("out", 2)] == state.memory[("x", 1)]
+
+    def test_memory_recurrence(self, memrec_loop):
+        state = run_reference(memrec_loop, trip_count=3)
+        # x[k] = x[k-1] * b[k]
+        x_m1 = seed_memory("x", -1, as_float=True)
+        b0 = state.memory[("b", 0)]
+        assert state.memory[("x", 0)] == pytest.approx(x_m1 * b0)
+        assert state.memory[("x", 1)] == pytest.approx(
+            state.memory[("x", 0)] * state.memory[("b", 1)]
+        )
+
+    def test_scalar_memref_single_cell(self):
+        b = LoopBuilder("sc")
+        b.load("r1", "cnt", scalar=True)
+        b.add("r2", "r1", 1)
+        b.store("r2", "cnt", scalar=True)
+        loop = b.build()
+        state = run_reference(loop, trip_count=5)
+        assert state.memory[("cnt", 0)] == seed_memory("cnt", 0, as_float=False) + 5
+
+    def test_int_ops(self):
+        b = LoopBuilder("int")
+        b.load("r1", "v")
+        b.shl("r2", "r1", 2)
+        b.and_("r3", "r2", 12)
+        b.store("r3", "o")
+        loop = b.build()
+        state = run_reference(loop, trip_count=1)
+        v0 = seed_memory("v", 0, as_float=False)
+        assert state.memory[("o", 0)] == (v0 << 2) & 12
+
+    def test_select_and_cmp(self):
+        b = LoopBuilder("sel")
+        b.load("r1", "v")
+        b.cmp("r2", "r1", 3)
+        b.select("r3", "r2", "r1", 0)
+        b.store("r3", "o")
+        loop = b.build()
+        state = run_reference(loop, trip_count=1)
+        v0 = seed_memory("v", 0, as_float=False)
+        assert state.memory[("o", 0)] == (v0 if v0 > 3 else 0)
+
+    def test_division_guards(self):
+        b = LoopBuilder("div")
+        b.load("r1", "v")
+        b.sub("r2", "r1", "r1")       # always 0
+        b.div("r3", "r1", "r2")       # division by zero -> 0 by contract
+        b.store("r3", "o")
+        loop = b.build()
+        state = run_reference(loop, trip_count=1)
+        assert state.memory[("o", 0)] == 0
+
+    def test_initial_registers_override(self, dot_loop):
+        f4 = dot_loop.factory.get("f4")
+        s1 = run_reference(dot_loop, trip_count=2, initial_registers={f4.rid: 0.0})
+        s2 = run_reference(dot_loop, trip_count=2)
+        assert s1.registers[f4.rid] != s2.registers[f4.rid]
+
+    def test_spill_slot_seeding_matches_register(self):
+        assert seed_memory("__spill_f7", 0, as_float=True) == seed_register(
+            type("R", (), {"name": "f7", "dtype": __import__("repro.ir.types", fromlist=["DataType"]).DataType.FLOAT})()
+        ) or True  # structural check below is the real assertion
+        from repro.ir.registers import RegisterFactory
+        from repro.ir.types import DataType
+
+        reg = RegisterFactory().new(DataType.FLOAT, name="fz")
+        assert seed_memory(f"__spill_{reg.name}", 0, as_float=True) == seed_register(reg)

@@ -1,0 +1,106 @@
+"""Tests for the cycle-accurate VLIW executor and equivalence checking."""
+
+import pytest
+
+from repro.ddg.builder import build_loop_ddg
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.sched.modulo.scheduler import modulo_schedule
+from repro.sched.schedule import KernelSchedule
+from repro.sim.equivalence import (
+    EquivalenceError,
+    check_kernel_against_reference,
+    check_loop_equivalence,
+    initial_registers_for,
+)
+from repro.sim.reference import run_reference
+from repro.sim.vliw import TimingViolation, run_pipelined
+from repro.workloads.kernels import NAMED_KERNELS, make_kernel
+
+
+class TestIdealKernelEquivalence:
+    @pytest.mark.parametrize("name", sorted(NAMED_KERNELS))
+    def test_every_kernel_pipelines_correctly_on_ideal(self, name, ideal16):
+        loop = make_kernel(name)
+        ddg = build_loop_ddg(loop)
+        ks = modulo_schedule(loop, ddg, ideal16)
+        check_kernel_against_reference(loop, ks, ddg, trip_count=6)
+
+    def test_longer_trip_counts(self, dot_loop, ideal16):
+        ddg = build_loop_ddg(dot_loop)
+        ks = modulo_schedule(dot_loop, ddg, ideal16)
+        for trips in (1, 2, 9, 17):
+            check_kernel_against_reference(dot_loop, ks, ddg, trip_count=trips)
+
+
+class TestTimingEnforcement:
+    def test_corrupted_schedule_raises_timing_violation(self, daxpy_loop, ideal16):
+        ddg = build_loop_ddg(daxpy_loop)
+        ks = modulo_schedule(daxpy_loop, ddg, ideal16)
+        # sabotage: pull the fmul to issue before its load completes
+        fmul_op = daxpy_loop.ops[2]
+        bad_times = dict(ks.times)
+        bad_times[fmul_op.op_id] = 1  # load latency is 2
+        bad = KernelSchedule(
+            machine=ideal16, loop=daxpy_loop, ii=ks.ii, times=bad_times
+        )
+        with pytest.raises(TimingViolation):
+            run_pipelined(bad, ddg, trip_count=3)
+
+    def test_wrong_value_detected_by_equivalence(self, daxpy_loop, ideal16):
+        ddg = build_loop_ddg(daxpy_loop)
+        ks = modulo_schedule(daxpy_loop, ddg, ideal16)
+        # run against a DIFFERENT source loop -> mismatch must be caught
+        other = make_kernel("dot")
+        with pytest.raises((EquivalenceError, KeyError)):
+            check_kernel_against_reference(other, ks, ddg, trip_count=4)
+
+
+class TestPartitionedEquivalence:
+    @pytest.mark.parametrize("name", ["daxpy", "dot", "lfk5_tridiag", "fir5",
+                                      "cmul", "iprefix", "imax", "mixed"])
+    def test_partitioned_kernels_equivalent(self, name, clustered_machine):
+        from repro.core.pipeline import PipelineConfig, compile_loop
+
+        loop = make_kernel(name)
+        result = compile_loop(
+            loop, clustered_machine, PipelineConfig(run_regalloc=False)
+        )
+        check_loop_equivalence(
+            loop,
+            result.partitioned,
+            result.kernel,
+            result.partitioned_ddg,
+            clustered_machine,
+            trip_count=5,
+        )
+
+    def test_preheader_copy_env(self, daxpy_loop):
+        from repro.core.pipeline import PipelineConfig, compile_loop
+        from repro.sim.values import seed_register
+
+        m = paper_machine(8, CopyModel.EMBEDDED)
+        result = compile_loop(daxpy_loop, m, PipelineConfig(run_regalloc=False))
+        env = initial_registers_for(result.partitioned)
+        for src, dst in result.partitioned.preheader_copies:
+            assert env[dst.rid] == seed_register(src)
+
+
+class TestStateComparison:
+    def test_store_counts_match_reference(self, daxpy_loop, ideal16):
+        ddg = build_loop_ddg(daxpy_loop)
+        ks = modulo_schedule(daxpy_loop, ddg, ideal16)
+        ref = run_reference(daxpy_loop, trip_count=4)
+        pipe = run_pipelined(ks, ddg, trip_count=4)
+        assert ref.store_count == pipe.store_count
+
+    def test_live_out_values_exposed(self, dot_loop, ideal16):
+        ddg = build_loop_ddg(dot_loop)
+        ks = modulo_schedule(dot_loop, ddg, ideal16)
+        pipe = run_pipelined(ks, ddg, trip_count=5)
+        f4 = dot_loop.factory.get("f4")
+        ref = run_reference(dot_loop, trip_count=5)
+        assert pipe.registers[f4.rid] == pytest.approx(ref.registers[f4.rid])
+        assert pipe.live_out_values(dot_loop) == pytest.approx(
+            ref.live_out_values(dot_loop)
+        )

@@ -1,0 +1,74 @@
+"""Tests for the heuristic auto-tuner (paper Section 7 future work)."""
+
+
+import pytest
+
+from repro.core.tuning import (
+    PARAMETER_SPACE,
+    describe_config,
+    evaluate_config,
+    tune_heuristic,
+)
+from repro.core.weights import HeuristicConfig
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.workloads.synthetic import PROFILES, SyntheticLoopGenerator
+
+
+@pytest.fixture(scope="module")
+def training_loops():
+    gen = SyntheticLoopGenerator(777)
+    names = sorted(PROFILES)
+    return [gen.generate(f"tr_{i}", PROFILES[names[i % len(names)]]) for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine(4, CopyModel.EMBEDDED)
+
+
+class TestEvaluateConfig:
+    def test_objective_at_least_100(self, training_loops, machine):
+        obj = evaluate_config(training_loops, machine, HeuristicConfig())
+        assert obj >= 100.0
+
+    def test_deterministic(self, training_loops, machine):
+        a = evaluate_config(training_loops, machine, HeuristicConfig())
+        b = evaluate_config(training_loops, machine, HeuristicConfig())
+        assert a == b
+
+
+class TestTuneHeuristic:
+    def test_never_worse_than_incumbent(self, training_loops, machine):
+        result = tune_heuristic(training_loops, machine, n_trials=4, seed=5)
+        assert result.best_objective <= result.incumbent_objective
+        assert result.improvement >= 0
+
+    def test_history_complete(self, training_loops, machine):
+        result = tune_heuristic(training_loops, machine, n_trials=4, seed=5)
+        assert len(result.history) == 5  # incumbent + 4 trials
+        assert result.history[0].kind == "incumbent"
+        assert all(t.kind in ("incumbent", "random", "perturb") for t in result.history)
+        assert result.best_objective == min(t.objective for t in result.history)
+
+    def test_deterministic_per_seed(self, training_loops, machine):
+        r1 = tune_heuristic(training_loops, machine, n_trials=3, seed=9)
+        r2 = tune_heuristic(training_loops, machine, n_trials=3, seed=9)
+        assert r1.best_objective == r2.best_objective
+        assert [t.objective for t in r1.history] == [t.objective for t in r2.history]
+
+    def test_zero_trials_rejected(self, training_loops, machine):
+        with pytest.raises(ValueError):
+            tune_heuristic(training_loops, machine, n_trials=0)
+
+    def test_sampled_configs_within_ranges(self, training_loops, machine):
+        result = tune_heuristic(training_loops, machine, n_trials=6, seed=2)
+        for trial in result.history[1:]:
+            for name, (lo, hi) in PARAMETER_SPACE.items():
+                value = getattr(trial.config, name)
+                assert lo - 1e-9 <= value <= hi + 1e-9, (name, value)
+
+    def test_describe_config_mentions_all_parameters(self):
+        text = describe_config(HeuristicConfig())
+        for name in PARAMETER_SPACE:
+            assert name in text

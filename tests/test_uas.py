@@ -1,0 +1,108 @@
+"""Tests for the UAS (unified assign-and-schedule) baseline."""
+
+import statistics
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.core.uas import uas_partition
+from repro.ddg.builder import build_loop_ddg
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.sched.validate import validate_kernel_schedule
+from repro.workloads.kernels import NAMED_KERNELS, make_kernel
+from repro.workloads.synthetic import PROFILES, SyntheticLoopGenerator
+
+
+class TestUASPartition:
+    def test_totality(self, daxpy_loop):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        ddg = build_loop_ddg(daxpy_loop)
+        part = uas_partition(daxpy_loop, ddg, m)
+        for reg in daxpy_loop.registers():
+            assert 0 <= part.bank_of(reg) < 4
+
+    def test_deterministic(self, dot_loop):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        ddg = build_loop_ddg(dot_loop)
+        p1 = uas_partition(dot_loop, ddg, m)
+        p2 = uas_partition(dot_loop, ddg, m)
+        assert p1.assignment == p2.assignment
+
+    def test_serial_chain_stays_together(self, daxpy_loop):
+        """Cross-cluster operands pay copy latency inside UAS's estart, so
+        a pure dependence chain never profits from moving."""
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        ddg = build_loop_ddg(daxpy_loop)
+        part = uas_partition(daxpy_loop, ddg, m)
+        f = daxpy_loop.factory
+        assert part.bank_of(f.get("f3")) == part.bank_of(f.get("f4"))
+
+    def test_parallel_work_spreads(self):
+        loop = make_kernel("daxpy4")  # 4 independent daxpy bodies
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        ddg = build_loop_ddg(loop)
+        part = uas_partition(loop, ddg, m)
+        assert len(set(part.assignment.values())) >= 2
+
+    @pytest.mark.parametrize("name", sorted(NAMED_KERNELS))
+    def test_all_kernels_compile_through_pipeline(self, name):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        result = compile_loop(
+            make_kernel(name), m, PipelineConfig(partitioner="uas", run_regalloc=False)
+        )
+        validate_kernel_schedule(result.kernel, result.partitioned_ddg)
+        assert result.metrics.partitioned_ii >= 1
+
+
+class TestUASQuality:
+    def test_uas_beats_bug_on_average(self):
+        """Ozer et al.'s core claim (paper Section 3): "UAS performs
+        better than BUG"."""
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        gen = SyntheticLoopGenerator(1234)
+        loops = [
+            gen.generate(f"uasq_{i}", PROFILES[p])
+            for i, p in enumerate(
+                ["parallel", "reduction", "recurrence", "parallel", "simple"] * 4
+            )
+        ]
+        means = {}
+        for which in ("uas", "bug"):
+            vals = []
+            for loop in loops:
+                r = compile_loop(
+                    loop, m, PipelineConfig(partitioner=which, run_regalloc=False)
+                )
+                vals.append(r.metrics.normalized_kernel)
+            means[which] = statistics.mean(vals)
+        assert means["uas"] <= means["bug"] + 1.0
+
+    def test_uas_competitive_with_greedy(self):
+        m = paper_machine(4, CopyModel.EMBEDDED)
+        gen = SyntheticLoopGenerator(99)
+        loops = [gen.generate(f"c_{i}", PROFILES["parallel"]) for i in range(10)]
+        means = {}
+        for which in ("uas", "greedy"):
+            vals = [
+                compile_loop(
+                    l, m, PipelineConfig(partitioner=which, run_regalloc=False)
+                ).metrics.normalized_kernel
+                for l in loops
+            ]
+            means[which] = statistics.mean(vals)
+        # within 25 normalized points either way
+        assert abs(means["uas"] - means["greedy"]) <= 25.0
+
+    def test_uas_equivalence_checked(self):
+        from repro.sim.equivalence import check_loop_equivalence
+
+        m = paper_machine(4, CopyModel.COPY_UNIT)
+        loop = make_kernel("lfk1_hydro")
+        result = compile_loop(
+            loop, m, PipelineConfig(partitioner="uas", run_regalloc=False)
+        )
+        check_loop_equivalence(
+            loop, result.partitioned, result.kernel, result.partitioned_ddg,
+            m, trip_count=5,
+        )

@@ -1,0 +1,106 @@
+"""Mutation tests: corrupted schedules must be rejected.
+
+A validator that never fires is worthless; these tests take legal
+schedules and break them in each of the ways the schedulers could
+conceivably get wrong, asserting the checker (or the cycle-accurate
+simulator) catches every mutation.
+"""
+
+import random
+
+import pytest
+
+from repro.ddg.builder import build_loop_ddg
+from repro.machine.machine import CopyModel
+from repro.machine.presets import ideal_machine, paper_machine
+from repro.sched.modulo.scheduler import modulo_schedule
+from repro.sched.schedule import KernelSchedule
+from repro.sched.validate import ScheduleValidationError, validate_kernel_schedule
+from repro.workloads.kernels import make_kernel
+from repro.workloads.synthetic import PROFILES, SyntheticLoopGenerator
+
+
+def legal_kernel(name="lfk1_hydro"):
+    loop = make_kernel(name)
+    m = ideal_machine()
+    ddg = build_loop_ddg(loop)
+    return loop, ddg, m, modulo_schedule(loop, ddg, m)
+
+
+class TestDependenceMutations:
+    def test_pulling_a_consumer_early_is_caught(self):
+        loop, ddg, m, ks = legal_kernel()
+        # find any intra-iteration flow edge and violate it
+        edge = next(e for e in ddg.edges() if e.distance == 0 and e.delay > 0)
+        bad_times = dict(ks.times)
+        bad_times[edge.dst.op_id] = max(0, ks.times[edge.src.op_id] + edge.delay - 1)
+        bad = KernelSchedule(machine=m, loop=loop, ii=ks.ii, times=bad_times)
+        with pytest.raises(ScheduleValidationError):
+            validate_kernel_schedule(bad, ddg)
+
+    def test_violating_a_carried_edge_is_caught(self):
+        loop, ddg, m, ks = legal_kernel("lfk5_tridiag")
+        carried = [e for e in ddg.edges() if e.distance > 0 and e.src is not e.dst]
+        edge = carried[0]
+        bad_times = dict(ks.times)
+        # push the source so late that even the carried slack cannot absorb it
+        bad_times[edge.src.op_id] = (
+            ks.times[edge.dst.op_id] + ks.ii * edge.distance - edge.delay + 1
+        )
+        bad = KernelSchedule(machine=m, loop=loop, ii=ks.ii, times=bad_times)
+        with pytest.raises(ScheduleValidationError):
+            validate_kernel_schedule(bad, ddg)
+
+
+class TestResourceMutations:
+    def test_oversubscribed_row_is_caught(self):
+        # 1-wide machine: co-scheduling any two ops must fail validation
+        loop = make_kernel("daxpy")
+        m = ideal_machine(width=1)
+        ddg = build_loop_ddg(loop)
+        ks = modulo_schedule(loop, ddg, m)
+        bad_times = dict(ks.times)
+        a, b = loop.ops[0], loop.ops[1]
+        bad_times[b.op_id] = bad_times[a.op_id] + ks.ii  # same row mod II
+        bad = KernelSchedule(machine=m, loop=loop, ii=ks.ii, times=bad_times)
+        with pytest.raises(ScheduleValidationError):
+            validate_kernel_schedule(bad, ddg)
+
+    def test_missing_cluster_on_clustered_machine_is_caught(self):
+        m = paper_machine(2, CopyModel.EMBEDDED)
+        loop = make_kernel("daxpy")
+        for op in loop.ops:
+            op.cluster = 0
+        ddg = build_loop_ddg(loop)
+        ks = modulo_schedule(loop, ddg, m)
+        loop.ops[0].cluster = None
+        with pytest.raises(ScheduleValidationError, match="without cluster"):
+            validate_kernel_schedule(ks, ddg)
+
+
+class TestRandomizedMutations:
+    def test_random_single_op_shifts_are_never_silently_accepted(self):
+        """Shift one op by a random nonzero delta: either the move is
+        still legal (validator passes AND the simulator agrees) or it is
+        rejected.  What must never happen: validator passes but the
+        simulated values diverge."""
+        from repro.sim.equivalence import check_kernel_against_reference
+
+        rng = random.Random(7)
+        gen = SyntheticLoopGenerator(17)
+        for i in range(6):
+            loop = gen.generate(f"mut_{i}", PROFILES["reduction"])
+            m = ideal_machine()
+            ddg = build_loop_ddg(loop)
+            ks = modulo_schedule(loop, ddg, m)
+            victim = rng.choice(loop.ops)
+            delta = rng.choice([-2, -1, 1, 2, ks.ii])
+            bad_times = dict(ks.times)
+            bad_times[victim.op_id] = max(0, bad_times[victim.op_id] + delta)
+            bad = KernelSchedule(machine=m, loop=loop, ii=ks.ii, times=bad_times)
+            try:
+                validate_kernel_schedule(bad, ddg)
+            except ScheduleValidationError:
+                continue  # rejected, good
+            # accepted: the simulator must agree it is correct
+            check_kernel_against_reference(loop, bad, ddg, trip_count=4)

@@ -1,0 +1,149 @@
+"""Tests for named kernels, the synthetic generator and the corpus."""
+
+import pytest
+
+from repro.ddg.analysis import recurrence_ii
+from repro.ddg.builder import build_loop_ddg
+from repro.ir.verify import verify_loop
+from repro.workloads.corpus import CORPUS_SIZE, corpus_summary, spec95_corpus
+from repro.workloads.kernels import NAMED_KERNELS, make_kernel
+from repro.workloads.synthetic import (
+    PROFILES,
+    LoopProfile,
+    SyntheticLoopGenerator,
+    default_profile_mixture,
+)
+
+
+class TestNamedKernels:
+    @pytest.mark.parametrize("name", sorted(NAMED_KERNELS))
+    def test_kernel_verifies(self, name):
+        verify_loop(make_kernel(name))
+
+    def test_fresh_instances(self):
+        a = make_kernel("daxpy")
+        b = make_kernel("daxpy")
+        assert a.ops[0].op_id != b.ops[0].op_id
+        assert a.ops[0].dest.rid != b.ops[0].dest.rid
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            make_kernel("nope")
+
+    def test_recurrence_kernels_have_recurrences(self):
+        # (iprefix's integer-add recurrence has latency 1, so RecII == 1)
+        for name in ("dot", "lfk5_tridiag", "lfk11_psum", "rec_d2"):
+            ddg = build_loop_ddg(make_kernel(name))
+            assert recurrence_ii(ddg) > 1, name
+
+    def test_parallel_kernels_have_none(self):
+        for name in ("daxpy", "fir5", "lfk12_fdiff", "cmul", "daxpy4"):
+            ddg = build_loop_ddg(make_kernel(name))
+            assert recurrence_ii(ddg) == 1, name
+
+    def test_xpos_example_block_matches_figure1(self):
+        from repro.workloads.kernels import xpos_example_block
+
+        block = xpos_example_block()
+        assert len(block) == 11
+        mnemonics = [op.opcode.value for op in block.ops]
+        assert mnemonics.count("load") == 4
+        assert mnemonics.count("mul") == 3
+        assert mnemonics.count("add") == 2
+        assert mnemonics.count("div") == 1
+        assert mnemonics.count("store") == 1
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_per_seed(self):
+        from repro.ir.printer import format_loop
+
+        a = SyntheticLoopGenerator(42).generate("x", PROFILES["parallel"])
+        b = SyntheticLoopGenerator(42).generate("x", PROFILES["parallel"])
+        assert format_loop(a) == format_loop(b)
+
+    def test_different_seeds_differ(self):
+        from repro.ir.printer import format_loop
+
+        a = SyntheticLoopGenerator(1).generate("x", PROFILES["parallel"])
+        b = SyntheticLoopGenerator(2).generate("x", PROFILES["parallel"])
+        assert format_loop(a) != format_loop(b)
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_profiles_generate_verified_loops(self, profile):
+        gen = SyntheticLoopGenerator(7)
+        for i in range(20):
+            loop = gen.generate(f"l{i}", PROFILES[profile])
+            verify_loop(loop)
+
+    def test_recurrence_profile_produces_recurrences(self):
+        gen = SyntheticLoopGenerator(3)
+        found = 0
+        for i in range(20):
+            loop = gen.generate(f"r{i}", PROFILES["recurrence"])
+            if recurrence_ii(build_loop_ddg(loop)) > 2:
+                found += 1
+        assert found >= 10
+
+    def test_depths_in_profile_choices(self):
+        profile = LoopProfile(
+            name="d", chains=(1, 1), loads_per_chain=(1, 1),
+            extra_ops_per_chain=(1, 1), depth_choices=(3,),
+        )
+        loop = SyntheticLoopGenerator(0).generate("d", profile)
+        assert loop.depth == 3
+
+    def test_mixture_weights_sum_to_one(self):
+        total = sum(w for _p, w in default_profile_mixture())
+        assert total == pytest.approx(1.0)
+
+
+class TestCorpus:
+    def test_size_and_determinism(self):
+        from repro.ir.printer import format_loop
+
+        loops = spec95_corpus()
+        again = spec95_corpus()
+        assert len(loops) == CORPUS_SIZE == 211
+        assert [l.name for l in loops] == [l.name for l in again]
+        assert format_loop(loops[50]) == format_loop(again[50])
+
+    def test_contains_the_frozen_kernel_set(self):
+        from repro.workloads.corpus import CORPUS_KERNELS
+
+        names = {l.name for l in spec95_corpus()}
+        # corpus composition is frozen; newer library kernels stay out
+        assert {NAMED_KERNELS[k]().name for k in CORPUS_KERNELS} <= names
+        assert set(CORPUS_KERNELS) <= set(NAMED_KERNELS)
+
+    def test_small_corpus_prefix(self):
+        loops = spec95_corpus(n=10)
+        assert len(loops) == 10
+
+    def test_all_loops_verify(self):
+        for loop in spec95_corpus():
+            verify_loop(loop)
+
+    def test_summary(self):
+        loops = spec95_corpus(n=40)
+        s = corpus_summary(loops)
+        assert s.n_loops == 40
+        assert s.min_ops >= 1
+        assert s.max_ops >= s.min_ops
+        assert s.n_with_recurrence > 0
+        assert "loops" in str(s)
+
+    def test_ipc_calibration_band(self):
+        """The headline calibration target: mean ideal IPC ~ 8.6 (Table 1)."""
+        import statistics
+
+        from repro.machine.presets import ideal_machine
+        from repro.sched.modulo.scheduler import modulo_schedule
+
+        m = ideal_machine()
+        ipcs = []
+        for loop in spec95_corpus():
+            ddg = build_loop_ddg(loop)
+            ipcs.append(modulo_schedule(loop, ddg, m).ipc)
+        mean = statistics.mean(ipcs)
+        assert 8.2 <= mean <= 9.0, mean
