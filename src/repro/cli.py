@@ -71,6 +71,9 @@ def cmd_compile(args: argparse.Namespace) -> int:
     result = compile_loop(loop, machine, config)
     m = result.metrics
 
+    if args.timing:
+        print(_format_pass_timing(result.pass_seconds))
+
     print(f"loop: {loop.name} ({len(loop.ops)} ops)   machine: {machine.describe()}")
     print(f"partitioner: {args.partitioner}")
     print("\n--- source ---")
@@ -107,6 +110,15 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_pass_timing(pass_seconds: dict[str, float]) -> str:
+    """Render per-pass wall time, widest first."""
+    total = sum(pass_seconds.values()) or 1.0
+    lines = ["--- pass timing ---"]
+    for name, seconds in sorted(pass_seconds.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:20s} {seconds * 1e3:9.2f} ms  {100 * seconds / total:5.1f}%")
+    return "\n".join(lines)
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evalx.export import run_to_csv, run_to_json
     from repro.evalx.report import render_full_report
@@ -119,8 +131,14 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         loops=loops,
         config=PipelineConfig(run_regalloc=args.regalloc),
         progress=args.progress,
+        jobs=args.jobs,
     )
     print(render_full_report(run))
+    if args.timing:
+        print(_format_pass_timing(run.pass_seconds))
+        lookups = run.cache_hits + run.cache_misses
+        print(f"ideal-schedule cache: {run.cache_hits}/{lookups} hits "
+              f"({100 * run.cache_hit_rate:.1f}%), jobs={run.jobs}")
     if args.csv:
         pathlib.Path(args.csv).write_text(run_to_csv(run), encoding="utf-8")
         print(f"\nper-loop CSV written to {args.csv}")
@@ -209,6 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="T",
         help="print the pipeline fully expanded for T iterations",
     )
+    c.add_argument("--timing", action="store_true",
+                   help="print per-pass wall times")
     c.set_defaults(func=cmd_compile)
 
     e = sub.add_parser("evaluate", help="regenerate Tables 1-2 and Figures 5-7")
@@ -217,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--progress", action="store_true")
     e.add_argument("--csv", metavar="PATH", help="write per-loop metrics CSV")
     e.add_argument("--json", metavar="PATH", help="write aggregate + per-loop JSON")
+    e.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="compile with N worker processes (default: serial)")
+    e.add_argument("--timing", action="store_true",
+                   help="print per-pass wall times and cache statistics")
     e.set_defaults(func=cmd_evaluate)
 
     d = sub.add_parser(

@@ -16,7 +16,12 @@ Modules
 * :mod:`repro.core.copies` -- copy insertion and cluster pinning
   (Section 4, step 4),
 * :mod:`repro.core.baselines` -- BUG and naive partitioners for comparison,
-* :mod:`repro.core.pipeline` -- the end-to-end five-step driver,
+* :mod:`repro.core.context` -- the compilation context + pipeline config,
+* :mod:`repro.core.passes` -- the five steps as composable passes plus the
+  partitioner registry,
+* :mod:`repro.core.cache` -- the machine-independent artifact cache,
+* :mod:`repro.core.pipeline` -- the end-to-end driver (thin wrapper over
+  the pass pipeline),
 * :mod:`repro.core.results` -- per-loop metrics consumed by the evaluation
   harness.
 """
@@ -36,7 +41,15 @@ from repro.core.uas import uas_partition
 from repro.core.iterative import refine_partition
 from repro.core.mixed import MixedFunction, compile_mixed
 from repro.core.wholefn import FunctionCompilation, compile_function
-from repro.core.pipeline import CompilationResult, PipelineConfig, compile_loop
+from repro.core.cache import ArtifactCache, CacheStats
+from repro.core.context import CompilationContext, PassEvent, PipelineConfig
+from repro.core.passes import (
+    PARTITIONERS,
+    PassPipeline,
+    default_passes,
+    register_partitioner,
+)
+from repro.core.pipeline import CompilationResult, compile_loop
 from repro.core.results import LoopMetrics
 
 __all__ = [
@@ -61,7 +74,15 @@ __all__ = [
     "round_robin_partition",
     "single_bank_partition",
     "CompilationResult",
+    "CompilationContext",
     "PipelineConfig",
+    "PassEvent",
+    "PassPipeline",
+    "PARTITIONERS",
+    "register_partitioner",
+    "default_passes",
+    "ArtifactCache",
+    "CacheStats",
     "compile_loop",
     "LoopMetrics",
 ]

@@ -1,0 +1,125 @@
+"""Artifact cache for machine-independent compilation artifacts.
+
+The DDG and the 16-wide ideal schedule depend only on the loop, the
+latency table and the scheduler configuration — not on the cluster
+arrangement (Section 6.2: "the 16-wide ideal schedule is the same no
+matter the cluster arrangement").  The evaluation runner compiles every
+loop under six clustered configurations that share all three, so an
+:class:`ArtifactCache` computes the pair once per loop and serves the
+other five configurations from memory.
+
+Keys are ``(loop fingerprint, latency fingerprint, scheduler
+fingerprint)``.  Because cached DDGs and schedules hold references to the
+loop's actual :class:`~repro.ir.operations.Operation` objects, a hit is
+only valid for the *same loop instance*: every entry remembers the loop
+it was built from and a textual collision from a different instance is
+treated as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.ir.block import Loop
+from repro.ir.printer import format_loop
+from repro.machine.latency import LatencyTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import PipelineConfig
+    from repro.ddg.graph import DDG
+    from repro.sched.schedule import KernelSchedule
+
+
+def loop_fingerprint(loop: Loop) -> str:
+    """Stable content hash of a loop (name, body, boundary liveness)."""
+    text = format_loop(loop)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def latency_fingerprint(latencies: LatencyTable) -> tuple:
+    """Order-independent fingerprint of a latency table."""
+    return tuple(sorted((cls.value, lat) for cls, lat in latencies.table.items()))
+
+
+def scheduler_fingerprint(config: "PipelineConfig", width: int) -> tuple:
+    """The scheduler knobs the ideal schedule depends on."""
+    return (config.scheduler, config.budget_ratio, width)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+@dataclass
+class _IdealEntry:
+    loop: Loop  # identity guard; also keeps the ops the artifacts reference alive
+    ddg: "DDG"
+    ideal: "KernelSchedule"
+
+
+@dataclass
+class ArtifactCache:
+    """Memo for (DDG, ideal schedule) pairs shared across configurations."""
+
+    _entries: dict[tuple, _IdealEntry] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(loop: Loop, latencies: LatencyTable, config: "PipelineConfig", width: int) -> tuple:
+        return (
+            loop_fingerprint(loop),
+            latency_fingerprint(latencies),
+            scheduler_fingerprint(config, width),
+        )
+
+    def peek_ddg(self, loop: Loop, latencies: LatencyTable,
+                 config: "PipelineConfig", width: int) -> "DDG | None":
+        """Return the cached DDG if present, without touching the stats.
+
+        Used by :class:`~repro.core.passes.BuildDDG` so that the pair
+        counts as one lookup (charged by the ideal-schedule pass), not two.
+        """
+        entry = self._entries.get(self.key_for(loop, latencies, config, width))
+        if entry is not None and entry.loop is loop:
+            return entry.ddg
+        return None
+
+    def ideal_for(
+        self,
+        loop: Loop,
+        latencies: LatencyTable,
+        config: "PipelineConfig",
+        width: int,
+        build: Callable[[], tuple["DDG", "KernelSchedule"]],
+    ) -> tuple["DDG", "KernelSchedule"]:
+        """Return the cached (DDG, ideal schedule) pair, building on miss."""
+        key = self.key_for(loop, latencies, config, width)
+        entry = self._entries.get(key)
+        if entry is not None and entry.loop is loop:
+            self.stats.hits += 1
+            return entry.ddg, entry.ideal
+        self.stats.misses += 1
+        ddg, ideal = build()
+        self._entries[key] = _IdealEntry(loop=loop, ddg=ddg, ideal=ideal)
+        return ddg, ideal

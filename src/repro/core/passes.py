@@ -1,0 +1,410 @@
+"""The compilation pipeline as composable passes (paper Section 4).
+
+Each of the paper's five steps is a :class:`Pass`: a named object whose
+``run`` method reads and writes one :class:`~repro.core.context
+.CompilationContext`.  A :class:`PassPipeline` composes passes, records
+per-pass wall time into the context's event log and short-circuits when a
+pass returns :data:`STOP` (or the context requests it).
+
+The default pipeline mirrors the monolithic driver this module replaced:
+
+1. :class:`BuildDDG`        — dependence graph of the input loop;
+2. :class:`IdealSchedule`   — modulo schedule on the monolithic machine;
+3. :class:`PartitionPass`   — registers to banks, via the partitioner
+   registry (greedy / iterative / bug / uas / random / round_robin /
+   single, plus anything registered at runtime);
+4. :class:`SpillRetryLoop`  — :class:`InsertCopies` +
+   :class:`ClusterReschedule` + :class:`AssignBanks`, retried with spill
+   code while a bank's pressure exceeds its capacity;
+5. :class:`SimulateCheck`   — optional end-to-end value validation;
+6. :class:`ComputeMetrics`  — distill a :class:`~repro.core.results
+   .LoopMetrics` for the evaluation harness.
+
+Steps 1-2 consult the context's :class:`~repro.core.cache.ArtifactCache`
+(when one is attached): the DDG and the 16-wide ideal schedule are the
+same for all cluster arrangements, so the evaluation runner shares them
+across the six paper configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.core.baselines import (
+    bug_partition,
+    random_partition,
+    round_robin_partition,
+    single_bank_partition,
+)
+from repro.core.components import component_summary
+from repro.core.context import CompilationContext
+from repro.core.copies import insert_copies
+from repro.core.greedy import Partition, greedy_partition
+from repro.core.results import LoopMetrics
+from repro.core.weights import build_rcg_from_kernel
+from repro.ddg.analysis import min_ii, recurrence_ii, resource_ii
+from repro.ddg.builder import build_loop_ddg
+from repro.sched.validate import validate_kernel_schedule
+
+#: Sentinel a pass returns to short-circuit the rest of the pipeline.
+STOP = object()
+
+
+class _Step:
+    """Adapter turning a closure into a (timeable, loggable) pass."""
+
+    def __init__(self, name: str, fn):
+        self.name = name
+        self.fn = fn
+
+    def run(self, ctx: CompilationContext):
+        return self.fn(ctx)
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One pipeline stage: transforms the context, optionally stops it."""
+
+    name: str
+
+    def run(self, ctx: CompilationContext) -> object | None:  # pragma: no cover
+        ...
+
+
+class PassPipeline:
+    """Run passes in order, timing each one into the context's event log.
+
+    A pass that returns :data:`STOP` — or sets
+    ``ctx.request_stop()`` — ends the run after its event is recorded;
+    the remaining passes are skipped.
+    """
+
+    def __init__(self, passes: list[Pass]):
+        self.passes = list(passes)
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        for pass_ in self.passes:
+            signal = ctx.run_timed(pass_)
+            if signal is STOP or ctx.stop_requested:
+                break
+        return ctx
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PassPipeline([{', '.join(p.name for p in self.passes)}])"
+
+
+# ----------------------------------------------------------------------
+# Partitioner registry (step 3 strategies)
+# ----------------------------------------------------------------------
+
+#: name -> strategy producing a Partition from a context whose DDG and
+#: ideal schedule are already built.  ``register_partitioner`` adds to it.
+PARTITIONERS: dict[str, Callable[[CompilationContext], Partition]] = {}
+
+
+def register_partitioner(name: str):
+    """Register a partitioning strategy under ``name``.
+
+    The strategy receives the full context (loop, machine, config, DDG,
+    ideal schedule) and returns a :class:`~repro.core.greedy.Partition`.
+    See docs/architecture.md for the "add a new partitioner" recipe.
+    """
+
+    def decorator(fn: Callable[[CompilationContext], Partition]):
+        PARTITIONERS[name] = fn
+        return fn
+
+    return decorator
+
+
+@register_partitioner("greedy")
+def _greedy(ctx: CompilationContext) -> Partition:
+    ctx.rcg = build_rcg_from_kernel(ctx.ideal, ctx.ddg, ctx.config.heuristic)
+    return greedy_partition(
+        ctx.rcg,
+        ctx.machine.n_clusters,
+        ctx.config.heuristic,
+        precolored=ctx.config.precolored,
+        slots_per_bank=ctx.machine.fus_per_cluster * ctx.ideal.ii,
+    )
+
+
+@register_partitioner("iterative")
+def _iterative(ctx: CompilationContext) -> Partition:
+    from repro.core.iterative import refine_partition
+
+    partition = _greedy(ctx)
+    partition, _stats = refine_partition(
+        ctx.loop, partition, ctx.machine, budget_ratio=ctx.config.budget_ratio
+    )
+    return partition
+
+
+@register_partitioner("bug")
+def _bug(ctx: CompilationContext) -> Partition:
+    return bug_partition(ctx.loop, ctx.ddg, ctx.machine)
+
+
+@register_partitioner("uas")
+def _uas(ctx: CompilationContext) -> Partition:
+    from repro.core.uas import uas_partition
+
+    return uas_partition(ctx.loop, ctx.ddg, ctx.machine, budget_ratio=ctx.config.budget_ratio)
+
+
+@register_partitioner("random")
+def _random(ctx: CompilationContext) -> Partition:
+    return random_partition(ctx.loop, ctx.machine.n_clusters, seed=ctx.config.seed)
+
+
+@register_partitioner("round_robin")
+def _round_robin(ctx: CompilationContext) -> Partition:
+    return round_robin_partition(ctx.loop, ctx.machine.n_clusters)
+
+
+@register_partitioner("single")
+def _single(ctx: CompilationContext) -> Partition:
+    return single_bank_partition(ctx.loop, ctx.machine.n_clusters)
+
+
+# ----------------------------------------------------------------------
+# Concrete passes
+# ----------------------------------------------------------------------
+
+
+class BuildDDG:
+    """Step 1-2a: dependence graph of the input loop (cache-aware)."""
+
+    name = "BuildDDG"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if ctx.cache is not None:
+            cached = ctx.cache.peek_ddg(
+                ctx.loop, ctx.machine.latencies, ctx.config, ctx.machine.width
+            )
+            if cached is not None:
+                ctx.ddg = cached
+                return
+        ctx.ddg = build_loop_ddg(ctx.loop, ctx.machine.latencies)
+
+
+class IdealSchedule:
+    """Step 2b: modulo schedule on the monolithic machine (cache-aware).
+
+    The ideal reference schedule uses a monolithic machine of the same
+    width and latency table, per Section 6.2 ("the 16-wide ideal schedule
+    is the same no matter the cluster arrangement") — which is exactly
+    what makes it shareable across the six clustered configurations.
+    """
+
+    name = "IdealSchedule"
+
+    def run(self, ctx: CompilationContext) -> None:
+        def build():
+            ideal_ks = ctx.schedule(ctx.loop, ctx.ddg, ctx.ideal_target)
+            validate_kernel_schedule(ideal_ks, ctx.ddg)
+            return ctx.ddg, ideal_ks
+
+        if ctx.cache is not None:
+            ctx.ddg, ctx.ideal = ctx.cache.ideal_for(
+                ctx.loop, ctx.machine.latencies, ctx.config, ctx.machine.width, build
+            )
+        else:
+            _, ctx.ideal = build()
+
+
+class PartitionPass:
+    """Step 3: assign registers to banks via the strategy registry."""
+
+    name = "PartitionPass"
+
+    def __init__(self, partitioner: str | None = None):
+        #: explicit strategy name, or None to follow ``config.partitioner``
+        self.partitioner = partitioner
+
+    def run(self, ctx: CompilationContext) -> None:
+        name = self.partitioner or ctx.config.partitioner
+        try:
+            strategy = PARTITIONERS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown partitioner {name!r}; registered: {sorted(PARTITIONERS)}"
+            ) from None
+        ctx.partition = strategy(ctx)
+        ctx.current_loop = ctx.loop
+        ctx.current_partition = ctx.partition
+
+
+class InsertCopies:
+    """Step 4a: pin ops to clusters and insert cross-bank copies."""
+
+    name = "InsertCopies"
+
+    def run(self, ctx: CompilationContext) -> None:
+        ctx.partitioned = insert_copies(ctx.current_loop, ctx.current_partition, ctx.machine)
+
+
+class ClusterReschedule:
+    """Step 4b: rebuild the DDG and reschedule under cluster constraints."""
+
+    name = "ClusterReschedule"
+
+    def run(self, ctx: CompilationContext) -> None:
+        ctx.partitioned_ddg = build_loop_ddg(ctx.partitioned.loop, ctx.machine.latencies)
+        ctx.kernel = ctx.schedule(ctx.partitioned.loop, ctx.partitioned_ddg, ctx.machine)
+        validate_kernel_schedule(ctx.kernel, ctx.partitioned_ddg)
+
+
+class AssignBanks:
+    """Step 5: per-bank Chaitin/Briggs assignment.
+
+    Leaves ``ctx.bank_assignment`` set only on success; the failing
+    outcome (with its spill candidates) is returned for the retry loop.
+    """
+
+    name = "AssignBanks"
+
+    def run(self, ctx: CompilationContext):
+        from repro.regalloc.assignment import assign_banks
+
+        outcome = assign_banks(
+            ctx.kernel, ctx.partitioned_ddg, ctx.partitioned.partition, ctx.machine
+        )
+        if outcome.success:
+            ctx.bank_assignment = outcome
+        return outcome
+
+
+class SpillRetryLoop:
+    """Steps 4-5 with spill retries (composite pass).
+
+    Each round inserts copies, reschedules and runs register assignment;
+    on failure it spills the translated candidates, re-partitions the
+    rewritten loop with the *same* scheduler and the full greedy
+    arguments (capacity-aware ``slots_per_bank``, ``precolored`` pins) as
+    the first round, and tries again.  Sub-passes are individually timed
+    into the event log, tagged with their round number.
+    """
+
+    name = "SpillRetryLoop"
+
+    def __init__(self):
+        self.insert_copies = InsertCopies()
+        self.reschedule = ClusterReschedule()
+        self.assign_banks = AssignBanks()
+
+    def run(self, ctx: CompilationContext) -> None:
+        config = ctx.config
+        for round_no in range(config.max_spill_rounds + 1):
+            ctx.run_timed(self.insert_copies, round=round_no)
+            ctx.run_timed(self.reschedule, round=round_no)
+
+            if not config.run_regalloc:
+                return
+
+            outcome = ctx.run_timed(self.assign_banks, round=round_no)
+            if outcome.success:
+                return
+            if round_no == config.max_spill_rounds:
+                raise RuntimeError(
+                    f"{ctx.loop.name!r}: register assignment still failing after "
+                    f"{config.max_spill_rounds} spill rounds on {ctx.machine.name!r}"
+                )
+            step = _Step(
+                "SpillRepartition",
+                lambda c: self._spill_and_repartition(c, outcome),
+            )
+            ctx.run_timed(step, round=round_no)
+
+    def _spill_and_repartition(self, ctx: CompilationContext, outcome) -> None:
+        from repro.regalloc.spill import spill_registers
+
+        # translate candidates back to the pre-partition loop: a spilled
+        # copy register means its origin value is the one worth spilling
+        translated: list = []
+        seen_rids: set[int] = set()
+        for reg in outcome.spill_candidates:
+            origin = ctx.partitioned.copy_origin.get(reg.rid, reg)
+            if origin.rid not in seen_rids:
+                seen_rids.add(origin.rid)
+                translated.append(origin)
+        ctx.current_loop, n_spilled = spill_registers(ctx.current_loop, translated, ctx.machine)
+        ctx.spilled_total += n_spilled
+
+        # re-partition the rewritten loop from scratch, through the same
+        # scheduler closure and with the same greedy knobs as round one
+        sddg = build_loop_ddg(ctx.current_loop, ctx.machine.latencies)
+        sideal = ctx.schedule(ctx.current_loop, sddg, ctx.ideal_target)
+        srcg = build_rcg_from_kernel(sideal, sddg, ctx.config.heuristic)
+        ctx.current_partition = greedy_partition(
+            srcg,
+            ctx.machine.n_clusters,
+            ctx.config.heuristic,
+            precolored=ctx.config.precolored,
+            slots_per_bank=ctx.machine.fus_per_cluster * sideal.ii,
+        )
+
+
+class SimulateCheck:
+    """Optional end-to-end value validation against the source semantics."""
+
+    name = "SimulateCheck"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if not ctx.config.run_simulation:
+            return
+        from repro.sim.equivalence import check_loop_equivalence
+
+        check_loop_equivalence(
+            ctx.loop, ctx.partitioned, ctx.kernel, ctx.partitioned_ddg, ctx.machine,
+            trip_count=ctx.config.sim_trip_count,
+        )
+        ctx.sim_checked = True
+
+
+class ComputeMetrics:
+    """Distill the context into a :class:`LoopMetrics` for evalx."""
+
+    name = "ComputeMetrics"
+
+    def run(self, ctx: CompilationContext) -> None:
+        ideal_for_width = ctx.ideal_target
+        n_components = (
+            component_summary(ctx.rcg).n_components if ctx.rcg is not None else 0
+        )
+        max_pressure = (
+            ctx.bank_assignment.max_pressure if ctx.bank_assignment is not None else 0
+        )
+        ctx.metrics = LoopMetrics(
+            loop_name=ctx.loop.name,
+            machine_name=ctx.machine.name,
+            n_ops=len(ctx.loop.ops),
+            ideal_ii=ctx.ideal.ii,
+            ideal_min_ii=min_ii(ctx.ddg, ideal_for_width),
+            ideal_rec_ii=recurrence_ii(ctx.ddg),
+            ideal_res_ii=resource_ii(ctx.ddg, ideal_for_width),
+            ideal_ipc=ctx.ideal.ipc,
+            partitioned_ii=ctx.kernel.ii,
+            partitioned_min_ii=min_ii(ctx.partitioned_ddg, ctx.machine),
+            partitioned_ipc=ctx.kernel.ipc,
+            n_kernel_ops=len(ctx.partitioned.loop.ops),
+            n_body_copies=ctx.partitioned.n_body_copies,
+            n_preheader_copies=ctx.partitioned.n_preheader_copies,
+            n_registers=len(ctx.partitioned.partition),
+            n_components=n_components,
+            max_bank_pressure=max_pressure,
+            spilled_registers=ctx.spilled_total,
+            sim_checked=ctx.sim_checked,
+        )
+
+
+def default_passes(config: "object | None" = None) -> list[Pass]:
+    """The standard five-step pipeline (plus validation and distillation)."""
+    return [
+        BuildDDG(),
+        IdealSchedule(),
+        PartitionPass(),
+        SpillRetryLoop(),
+        SimulateCheck(),
+        ComputeMetrics(),
+    ]

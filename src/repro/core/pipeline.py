@@ -6,66 +6,60 @@
     4. copy insertion, DDG rebuild, cluster-constrained rescheduling;
     5. Chaitin/Briggs register assignment within each bank.
 
-The driver also (optionally) runs the validating simulator, retries with
-spill code when a bank's pressure exceeds its capacity, and distills a
-:class:`~repro.core.results.LoopMetrics` for the evaluation harness.
+Since the pass-manager refactor the actual stages live in
+:mod:`repro.core.passes` (as :class:`~repro.core.passes.Pass` objects
+composed by a :class:`~repro.core.passes.PassPipeline`) and the mutable
+state in :mod:`repro.core.context`.  This module keeps the stable
+entry-point surface: :func:`compile_loop` builds a context, runs the
+default pipeline over it and distills a :class:`CompilationResult`.
+Pass ``cache=`` an :class:`~repro.core.cache.ArtifactCache` to share the
+machine-independent DDG + ideal schedule across calls (the evaluation
+runner does, across the six paper configurations).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
 
-from repro.core.baselines import (
-    bug_partition,
-    random_partition,
-    round_robin_partition,
-    single_bank_partition,
+# Re-exported for backwards compatibility: these names historically lived
+# here and are imported all over the tests, benchmarks and examples.
+from repro.core.cache import ArtifactCache
+from repro.core.context import (
+    CompilationContext,
+    PartitionerName,
+    PipelineConfig,
+    SchedulerName,
 )
-from repro.core.components import component_summary
-from repro.core.copies import PartitionedLoop, insert_copies
-from repro.core.greedy import Partition, greedy_partition
+from repro.core.copies import PartitionedLoop
+from repro.core.greedy import Partition
+from repro.core.passes import PassPipeline, default_passes
 from repro.core.results import LoopMetrics
 from repro.core.rcg import RegisterComponentGraph
-from repro.core.weights import DEFAULT_HEURISTIC, HeuristicConfig, build_rcg_from_kernel
-from repro.ddg.analysis import min_ii, recurrence_ii, resource_ii
-from repro.ddg.builder import build_loop_ddg
 from repro.ddg.graph import DDG
 from repro.ir.block import Loop
-from repro.ir.registers import SymbolicRegister
 from repro.machine.machine import MachineDescription
-from repro.machine.presets import ideal_machine
-from repro.sched.modulo.scheduler import modulo_schedule
 from repro.sched.schedule import KernelSchedule
-from repro.sched.validate import validate_kernel_schedule
 
-PartitionerName = Literal[
-    "greedy", "iterative", "bug", "uas", "random", "round_robin", "single"
+__all__ = [
+    "ArtifactCache",
+    "CompilationContext",
+    "CompilationResult",
+    "PartitionerName",
+    "PipelineConfig",
+    "SchedulerName",
+    "compile_loop",
 ]
-
-
-SchedulerName = Literal["ims", "swing"]
-
-
-@dataclass(frozen=True)
-class PipelineConfig:
-    """Knobs of the end-to-end pipeline."""
-
-    heuristic: HeuristicConfig = DEFAULT_HEURISTIC
-    partitioner: PartitionerName = "greedy"
-    scheduler: SchedulerName = "ims"
-    budget_ratio: int = 12
-    run_regalloc: bool = True
-    run_simulation: bool = False
-    sim_trip_count: int = 6
-    seed: int = 0
-    max_spill_rounds: int = 3
-    precolored: dict[SymbolicRegister, int] | None = None
 
 
 @dataclass
 class CompilationResult:
-    """All artifacts of one loop x machine compilation."""
+    """All artifacts of one loop x machine compilation.
+
+    ``partition`` is the *final* pre-copy partition — after any spill
+    rounds — so it is always consistent with ``partitioned`` and
+    ``metrics`` (every register it places has the same bank in
+    ``partitioned.partition``, which extends it with copy destinations).
+    """
 
     loop: Loop
     machine: MachineDescription
@@ -79,182 +73,39 @@ class CompilationResult:
     metrics: LoopMetrics
     bank_assignment: "object | None" = None  # regalloc.assignment.BankAssignments
     scheduler_stats: dict = field(default_factory=dict)
+    #: aggregated wall time per pass name (see ``CompilationContext.events``)
+    pass_seconds: dict[str, float] = field(default_factory=dict)
 
 
 def compile_loop(
     loop: Loop,
     machine: MachineDescription,
     config: PipelineConfig = PipelineConfig(),
+    cache: ArtifactCache | None = None,
 ) -> CompilationResult:
     """Compile ``loop`` for the clustered ``machine``; see module docs.
 
-    The ideal reference schedule uses a monolithic machine of the same
-    width and latency table, per Section 6.2 ("the 16-wide ideal schedule
-    is the same no matter the cluster arrangement").
+    Thin wrapper over the default :class:`~repro.core.passes
+    .PassPipeline`; kept so every historical call site (CLI, benchmarks,
+    evalx, examples) works unchanged.
     """
     if not machine.is_clustered:
         raise ValueError("compile_loop targets clustered machines; "
                          "use modulo_schedule directly for the ideal model")
 
-    ideal = ideal_machine(width=machine.width, latencies=machine.latencies)
-
-    def schedule(sched_loop, sched_ddg, target):
-        if config.scheduler == "swing":
-            from repro.sched.modulo.swing import swing_modulo_schedule
-
-            return swing_modulo_schedule(sched_loop, sched_ddg, target)
-        return modulo_schedule(
-            sched_loop, sched_ddg, target, budget_ratio=config.budget_ratio
-        )
-
-    # steps 1-2: DDG + ideal schedule
-    ddg = build_loop_ddg(loop, machine.latencies)
-    ideal_ks = schedule(loop, ddg, ideal)
-    validate_kernel_schedule(ideal_ks, ddg)
-
-    # step 3: partition registers to banks
-    rcg: RegisterComponentGraph | None = None
-    if config.partitioner in ("greedy", "iterative"):
-        rcg = build_rcg_from_kernel(ideal_ks, ddg, config.heuristic)
-        partition = greedy_partition(
-            rcg,
-            machine.n_clusters,
-            config.heuristic,
-            precolored=config.precolored,
-            slots_per_bank=machine.fus_per_cluster * ideal_ks.ii,
-        )
-        if config.partitioner == "iterative":
-            from repro.core.iterative import refine_partition
-
-            partition, _stats = refine_partition(
-                loop, partition, machine, budget_ratio=config.budget_ratio
-            )
-    elif config.partitioner == "bug":
-        partition = bug_partition(loop, ddg, machine)
-    elif config.partitioner == "uas":
-        from repro.core.uas import uas_partition
-
-        partition = uas_partition(loop, ddg, machine, budget_ratio=config.budget_ratio)
-    elif config.partitioner == "random":
-        partition = random_partition(loop, machine.n_clusters, seed=config.seed)
-    elif config.partitioner == "round_robin":
-        partition = round_robin_partition(loop, machine.n_clusters)
-    elif config.partitioner == "single":
-        partition = single_bank_partition(loop, machine.n_clusters)
-    else:  # pragma: no cover - guarded by Literal type
-        raise ValueError(f"unknown partitioner {config.partitioner!r}")
-
-    # step 4: copies + cluster-constrained reschedule (+ spill retries)
-    current_loop = loop
-    current_partition = partition
-    spilled_total = 0
-    bank_assignment = None
-    for round_no in range(config.max_spill_rounds + 1):
-        ploop = insert_copies(current_loop, current_partition, machine)
-        pddg = build_loop_ddg(ploop.loop, machine.latencies)
-        kernel = schedule(ploop.loop, pddg, machine)
-        validate_kernel_schedule(kernel, pddg)
-
-        if not config.run_regalloc:
-            break
-
-        # step 5: per-bank Chaitin/Briggs assignment
-        from repro.regalloc.assignment import assign_banks
-
-        outcome = assign_banks(kernel, pddg, ploop.partition, machine)
-        if outcome.success:
-            bank_assignment = outcome
-            break
-        if round_no == config.max_spill_rounds:
-            raise RuntimeError(
-                f"{loop.name!r}: register assignment still failing after "
-                f"{config.max_spill_rounds} spill rounds on {machine.name!r}"
-            )
-        from repro.regalloc.spill import spill_registers
-
-        # translate candidates back to the pre-partition loop: a spilled
-        # copy register means its origin value is the one worth spilling
-        translated: list = []
-        seen_rids: set[int] = set()
-        for reg in outcome.spill_candidates:
-            origin = ploop.copy_origin.get(reg.rid, reg)
-            if origin.rid not in seen_rids:
-                seen_rids.add(origin.rid)
-                translated.append(origin)
-        current_loop, n_spilled = spill_registers(current_loop, translated, machine)
-        spilled_total += n_spilled
-        # re-partition the rewritten loop from scratch
-        sddg = build_loop_ddg(current_loop, machine.latencies)
-        sideal = modulo_schedule(current_loop, sddg, ideal, budget_ratio=config.budget_ratio)
-        srcg = build_rcg_from_kernel(sideal, sddg, config.heuristic)
-        current_partition = greedy_partition(srcg, machine.n_clusters, config.heuristic)
-
-    # optional end-to-end value validation
-    sim_checked = False
-    if config.run_simulation:
-        from repro.sim.equivalence import check_loop_equivalence
-
-        check_loop_equivalence(loop, ploop, kernel, pddg, machine,
-                               trip_count=config.sim_trip_count)
-        sim_checked = True
-
-    metrics = _build_metrics(
-        loop, machine, ddg, ideal_ks, ploop, pddg, kernel, rcg,
-        spilled_total, bank_assignment, sim_checked,
-    )
+    ctx = CompilationContext(loop=loop, machine=machine, config=config, cache=cache)
+    PassPipeline(default_passes(config)).run(ctx)
     return CompilationResult(
-        loop=loop,
-        machine=machine,
-        ideal=ideal_ks,
-        ddg=ddg,
-        rcg=rcg,
-        partition=partition,
-        partitioned=ploop,
-        kernel=kernel,
-        partitioned_ddg=pddg,
-        metrics=metrics,
-        bank_assignment=bank_assignment,
-    )
-
-
-def _build_metrics(
-    loop: Loop,
-    machine: MachineDescription,
-    ddg: DDG,
-    ideal_ks: KernelSchedule,
-    ploop: PartitionedLoop,
-    pddg: DDG,
-    kernel: KernelSchedule,
-    rcg: RegisterComponentGraph | None,
-    spilled_total: int,
-    bank_assignment,
-    sim_checked: bool,
-) -> LoopMetrics:
-    ideal_for_width = ideal_machine(width=machine.width, latencies=machine.latencies)
-    n_components = (
-        component_summary(rcg).n_components if rcg is not None else 0
-    )
-    max_pressure = (
-        bank_assignment.max_pressure if bank_assignment is not None else 0
-    )
-    return LoopMetrics(
-        loop_name=loop.name,
-        machine_name=machine.name,
-        n_ops=len(loop.ops),
-        ideal_ii=ideal_ks.ii,
-        ideal_min_ii=min_ii(ddg, ideal_for_width),
-        ideal_rec_ii=recurrence_ii(ddg),
-        ideal_res_ii=resource_ii(ddg, ideal_for_width),
-        ideal_ipc=ideal_ks.ipc,
-        partitioned_ii=kernel.ii,
-        partitioned_min_ii=min_ii(pddg, machine),
-        partitioned_ipc=kernel.ipc,
-        n_kernel_ops=len(ploop.loop.ops),
-        n_body_copies=ploop.n_body_copies,
-        n_preheader_copies=ploop.n_preheader_copies,
-        n_registers=len(ploop.partition),
-        n_components=n_components,
-        max_bank_pressure=max_pressure,
-        spilled_registers=spilled_total,
-        sim_checked=sim_checked,
+        loop=ctx.loop,
+        machine=ctx.machine,
+        ideal=ctx.ideal,
+        ddg=ctx.ddg,
+        rcg=ctx.rcg,
+        partition=ctx.current_partition,
+        partitioned=ctx.partitioned,
+        kernel=ctx.kernel,
+        partitioned_ddg=ctx.partitioned_ddg,
+        metrics=ctx.metrics,
+        bank_assignment=ctx.bank_assignment,
+        pass_seconds=ctx.pass_seconds(),
     )

@@ -4,14 +4,30 @@ Compiles every corpus loop for each of the paper's six clustered
 configurations (2/4/8 clusters x embedded/copy-unit) and collects
 :class:`~repro.core.results.LoopMetrics` per configuration.  Table,
 figure and report modules consume the resulting :class:`EvalRun`.
+
+Two execution strategies produce identical results:
+
+* **serial** (``jobs=1``, the default) — one process, one shared
+  :class:`~repro.core.cache.ArtifactCache`, so each loop's DDG and
+  16-wide ideal schedule are computed once and reused by the other five
+  configurations;
+* **parallel** (``jobs=N``) — a :class:`~concurrent.futures
+  .ProcessPoolExecutor` over chunks of loops.  Each work item compiles a
+  chunk of loops across *all* requested configurations with a
+  worker-local cache (preserving the cross-configuration reuse), and the
+  merge step reassembles metrics and failures in the exact order the
+  serial runner would have produced them.
 """
 
 from __future__ import annotations
 
+import math
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.cache import ArtifactCache
 from repro.core.pipeline import PipelineConfig, compile_loop
 from repro.core.results import LoopMetrics
 from repro.ir.block import Loop
@@ -43,6 +59,12 @@ class EvalRun:
     per_config: dict[str, list[LoopMetrics]] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     failures: list[tuple[str, str, str]] = field(default_factory=list)
+    #: how the run executed (1 = serial) and what the artifact cache saw
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: aggregate wall time per pass name, summed over every compilation
+    pass_seconds: dict[str, float] = field(default_factory=dict)
 
     def config_labels(self) -> list[str]:
         return [config_label(n, m) for n, m in PAPER_CONFIG_ORDER if config_label(n, m) in self.per_config]
@@ -50,24 +72,47 @@ class EvalRun:
     def metrics_for(self, n_clusters: int, model: CopyModel) -> list[LoopMetrics]:
         return self.per_config[config_label(n_clusters, model)]
 
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+def _merge_pass_seconds(into: dict[str, float], new: dict[str, float]) -> None:
+    for name, seconds in new.items():
+        into[name] = into.get(name, 0.0) + seconds
+
 
 def run_evaluation(
     loops: list[Loop] | None = None,
     config: PipelineConfig | None = None,
     configs: tuple[tuple[int, CopyModel], ...] = PAPER_CONFIG_ORDER,
     progress: bool = False,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
 ) -> EvalRun:
     """Run the corpus through the pipeline for each configuration.
 
     A loop that fails to compile for some configuration is recorded in
     ``failures`` and excluded from that configuration's metrics — with the
     shipped corpus there are none, and the test suite asserts that.
+
+    ``jobs > 1`` fans the work out over a process pool; the resulting
+    :class:`EvalRun` (metrics order, failure order, machine table) is
+    identical to the serial run's.  ``cache`` lets callers share one
+    :class:`ArtifactCache` across several serial evaluations; the parallel
+    path always uses worker-local caches and only merges their stats.
     """
     loops = loops if loops is not None else spec95_corpus()
     pipeline_config = config if config is not None else PipelineConfig(run_regalloc=False)
 
-    run = EvalRun()
+    if jobs > 1:
+        return _run_parallel(loops, pipeline_config, configs, jobs, progress)
+
+    shared_cache = cache if cache is not None else ArtifactCache()
+    run = EvalRun(jobs=1)
     t0 = time.time()
+    hits0, misses0 = shared_cache.stats.hits, shared_cache.stats.misses
     for n_clusters, model in configs:
         label = config_label(n_clusters, model)
         machine = paper_machine(n_clusters, model)
@@ -75,15 +120,107 @@ def run_evaluation(
         metrics: list[LoopMetrics] = []
         for i, loop in enumerate(loops):
             try:
-                result = compile_loop(loop, machine, pipeline_config)
-            except Exception as exc:  # pragma: no cover - corpus is clean
+                result = compile_loop(loop, machine, pipeline_config, cache=shared_cache)
+            except Exception as exc:
                 run.failures.append((label, loop.name, repr(exc)))
                 continue
             metrics.append(result.metrics)
+            _merge_pass_seconds(run.pass_seconds, result.pass_seconds)
             if progress and (i + 1) % 50 == 0:
                 print(f"  [{label}] {i + 1}/{len(loops)}", file=sys.stderr)
         run.per_config[label] = metrics
         if progress:
             print(f"[{label}] done: {len(metrics)} loops", file=sys.stderr)
+    run.cache_hits = shared_cache.stats.hits - hits0
+    run.cache_misses = shared_cache.stats.misses - misses0
+    run.elapsed_seconds = time.time() - t0
+    return run
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+
+#: one compiled (loop, config) cell crossing the process boundary:
+#: (loop_index, config_label, ok, payload) where payload is a LoopMetrics
+#: on success or (loop_name, repr(exc)) on failure.
+_Cell = tuple[int, str, bool, object]
+
+
+def _compile_chunk(
+    payload: tuple[list[tuple[int, Loop]], tuple[tuple[int, CopyModel], ...], PipelineConfig],
+) -> tuple[list[_Cell], int, int, dict[str, float]]:
+    """Worker: compile a chunk of loops across every configuration.
+
+    Machines are rebuilt locally (a ``MachineDescription`` holds a
+    mapping-proxy latency table and does not pickle); loops and configs
+    do pickle.  The worker-local cache gives each loop in the chunk the
+    same 1-miss/(n_configs - 1)-hit profile as the serial runner.
+    """
+    chunk, configs, pipeline_config = payload
+    cache = ArtifactCache()
+    machines = {
+        config_label(n, model): paper_machine(n, model) for n, model in configs
+    }
+    cells: list[_Cell] = []
+    pass_seconds: dict[str, float] = {}
+    for idx, loop in chunk:
+        for n_clusters, model in configs:
+            label = config_label(n_clusters, model)
+            try:
+                result = compile_loop(loop, machines[label], pipeline_config, cache=cache)
+            except Exception as exc:
+                cells.append((idx, label, False, (loop.name, repr(exc))))
+                continue
+            cells.append((idx, label, True, result.metrics))
+            _merge_pass_seconds(pass_seconds, result.pass_seconds)
+    return cells, cache.stats.hits, cache.stats.misses, pass_seconds
+
+
+def _run_parallel(
+    loops: list[Loop],
+    pipeline_config: PipelineConfig,
+    configs: tuple[tuple[int, CopyModel], ...],
+    jobs: int,
+    progress: bool,
+) -> EvalRun:
+    run = EvalRun(jobs=jobs)
+    t0 = time.time()
+    for n_clusters, model in configs:
+        run.machines[config_label(n_clusters, model)] = paper_machine(n_clusters, model)
+
+    indexed = list(enumerate(loops))
+    chunk_size = max(1, math.ceil(len(indexed) / (jobs * 4)))
+    chunks = [indexed[i:i + chunk_size] for i in range(0, len(indexed), chunk_size)]
+    payloads = [(chunk, configs, pipeline_config) for chunk in chunks]
+
+    ok_cells: dict[str, dict[int, LoopMetrics]] = {
+        config_label(n, m): {} for n, m in configs
+    }
+    fail_cells: dict[str, dict[int, tuple[str, str]]] = {
+        config_label(n, m): {} for n, m in configs
+    }
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for done, (cells, hits, misses, pass_seconds) in enumerate(
+            pool.map(_compile_chunk, payloads)
+        ):
+            for idx, label, ok, value in cells:
+                if ok:
+                    ok_cells[label][idx] = value
+                else:
+                    fail_cells[label][idx] = value
+            run.cache_hits += hits
+            run.cache_misses += misses
+            _merge_pass_seconds(run.pass_seconds, pass_seconds)
+            if progress:
+                print(f"  chunk {done + 1}/{len(chunks)} done", file=sys.stderr)
+
+    # deterministic, serial-order merge: configuration-major, loop-minor
+    for n_clusters, model in configs:
+        label = config_label(n_clusters, model)
+        run.per_config[label] = [ok_cells[label][i] for i in sorted(ok_cells[label])]
+        for i in sorted(fail_cells[label]):
+            name, err = fail_cells[label][i]
+            run.failures.append((label, name, err))
     run.elapsed_seconds = time.time() - t0
     return run

@@ -97,3 +97,7 @@ class TestSpillPath:
         result = compile_loop(loop, m, PipelineConfig(max_spill_rounds=8))
         assert result.bank_assignment is not None and result.bank_assignment.success
         assert result.metrics.spilled_registers > 0
+        # the returned partition is the final post-spill one, consistent
+        # with the partitioned loop (which extends it with copy registers)
+        for rid, bank in result.partition.assignment.items():
+            assert result.partitioned.partition.assignment[rid] == bank
