@@ -120,19 +120,50 @@ def _format_pass_timing(pass_seconds: dict[str, float]) -> str:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evalx.checkpoint import CheckpointLog, CheckpointMismatch
     from repro.evalx.export import run_to_csv, run_to_json
     from repro.evalx.report import render_full_report
-    from repro.evalx.runner import run_evaluation
+    from repro.evalx.runner import PAPER_CONFIG_ORDER, config_label, run_evaluation
     from repro.workloads.corpus import spec95_corpus
 
-    n = args.quick if args.quick else 211
+    # `--quick 0` must be rejected, not silently treated as "all 211 loops"
+    if args.quick is not None and args.quick <= 0:
+        raise SystemExit("error: --quick requires a positive number of loops")
+    n = args.quick if args.quick is not None else 211
     loops = spec95_corpus(n=n)
-    run = run_evaluation(
-        loops=loops,
-        config=PipelineConfig(run_regalloc=args.regalloc),
-        progress=args.progress,
-        jobs=args.jobs,
-    )
+    pipeline_config = PipelineConfig(run_regalloc=args.regalloc)
+
+    checkpoint = None
+    if args.checkpoint and args.resume:
+        raise SystemExit("error: --checkpoint and --resume are mutually exclusive")
+    labels = [config_label(nc, m) for nc, m in PAPER_CONFIG_ORDER]
+    try:
+        if args.checkpoint:
+            checkpoint = CheckpointLog.fresh(
+                args.checkpoint, loops, labels, pipeline_config
+            )
+        elif args.resume:
+            checkpoint = CheckpointLog.resume(
+                args.resume, loops, labels, pipeline_config
+            )
+    except CheckpointMismatch as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    try:
+        run = run_evaluation(
+            loops=loops,
+            config=pipeline_config,
+            progress=args.progress,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            checkpoint=checkpoint,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    if run.resumed_cells:
+        print(f"resumed {run.resumed_cells} completed cells from "
+              f"{args.resume}", file=sys.stderr)
     print(render_full_report(run))
     if args.timing:
         print(_format_pass_timing(run.pass_seconds))
@@ -145,7 +176,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     if args.json:
         pathlib.Path(args.json).write_text(run_to_json(run), encoding="utf-8")
         print(f"JSON written to {args.json}")
-    return 0
+    # recorded failures must be visible in the exit status, not just the text
+    return 1 if run.failures else 0
 
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
@@ -239,6 +271,16 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--json", metavar="PATH", help="write aggregate + per-loop JSON")
     e.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="compile with N worker processes (default: serial)")
+    e.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-loop wall-clock budget; a loop exceeding it is "
+                        "recorded as a timeout failure instead of hanging "
+                        "the run")
+    e.add_argument("--checkpoint", metavar="PATH",
+                   help="record completed (loop, config) cells to a JSONL "
+                        "checkpoint (overwrites PATH)")
+    e.add_argument("--resume", metavar="PATH",
+                   help="resume from a JSONL checkpoint written by an "
+                        "interrupted run (and keep appending to it)")
     e.add_argument("--timing", action="store_true",
                    help="print per-pass wall times and cache statistics")
     e.set_defaults(func=cmd_evaluate)

@@ -50,10 +50,11 @@ def scheduler_fingerprint(config: "PipelineConfig", width: int) -> tuple:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache instance."""
+    """Hit/miss/eviction counters for one cache instance."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -66,6 +67,7 @@ class CacheStats:
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
+        self.evictions += other.evictions
 
 
 @dataclass
@@ -75,15 +77,44 @@ class _IdealEntry:
     ideal: "KernelSchedule"
 
 
+#: default entry cap — generous (a full corpus evaluation touches one
+#: entry per loop, i.e. 211), but bounded so a long-lived cache shared
+#: across many evaluations of *different* corpora cannot grow forever.
+DEFAULT_CAPACITY = 4096
+
+
 @dataclass
 class ArtifactCache:
-    """Memo for (DDG, ideal schedule) pairs shared across configurations."""
+    """Memo for (DDG, ideal schedule) pairs shared across configurations.
+
+    Bounded: at most ``capacity`` entries are retained, least-recently
+    used first out (``capacity=None`` disables eviction).  Every hit
+    refreshes its entry's recency; evictions are counted in ``stats``.
+    """
 
     _entries: dict[tuple, _IdealEntry] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
+    capacity: int | None = DEFAULT_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError("capacity must be a positive int or None")
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _touch(self, key: tuple, entry: _IdealEntry) -> None:
+        """Mark ``key`` most-recently used (dicts preserve insert order)."""
+        self._entries.pop(key, None)
+        self._entries[key] = entry
+
+    def _insert(self, key: tuple, entry: _IdealEntry) -> None:
+        self._entries.pop(key, None)  # identity-guard overwrite, not an eviction
+        self._entries[key] = entry
+        while self.capacity is not None and len(self._entries) > self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.stats.evictions += 1
 
     @staticmethod
     def key_for(loop: Loop, latencies: LatencyTable, config: "PipelineConfig", width: int) -> tuple:
@@ -118,8 +149,9 @@ class ArtifactCache:
         entry = self._entries.get(key)
         if entry is not None and entry.loop is loop:
             self.stats.hits += 1
+            self._touch(key, entry)
             return entry.ddg, entry.ideal
         self.stats.misses += 1
         ddg, ideal = build()
-        self._entries[key] = _IdealEntry(loop=loop, ddg=ddg, ideal=ideal)
+        self._insert(key, _IdealEntry(loop=loop, ddg=ddg, ideal=ideal))
         return ddg, ideal

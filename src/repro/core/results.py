@@ -11,7 +11,9 @@ The evaluation section of the paper reports, per configuration:
 
 :class:`LoopMetrics` carries everything those aggregations need plus
 diagnostics (RecII/ResII decomposition, copy counts, component shape,
-register-allocation outcome).
+register-allocation outcome).  :class:`LoopFailure` is its counterpart
+for the (loop, configuration) cells that did *not* produce metrics:
+which fault kind ended the attempt, and after how many attempts.
 """
 
 from __future__ import annotations
@@ -50,6 +52,27 @@ def degradation_bucket(degradation_pct: float) -> str:
         if degradation_pct < upper:
             return label
     return ">90%"
+
+
+#: failure classification, in increasing order of violence: the pipeline
+#: raised; the wall-clock budget expired; the process died outright (or
+#: the result could not cross the process boundary).
+FAILURE_KINDS: tuple[str, ...] = ("exception", "timeout", "crash")
+
+
+@dataclass(frozen=True)
+class LoopFailure:
+    """One (loop, configuration) cell that produced no metrics."""
+
+    config: str
+    loop_name: str
+    error: str
+    kind: str = "exception"   # one of FAILURE_KINDS
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {self.kind!r}")
 
 
 @dataclass(frozen=True)

@@ -18,10 +18,12 @@ deterministic given the seed, so tuned results are reproducible.
 
 from __future__ import annotations
 
+import math
 import random
 import statistics
 from dataclasses import dataclass, field
 
+from repro.core.faults import DeadlineExceeded, deadline
 from repro.core.pipeline import PipelineConfig, compile_loop
 from repro.core.weights import HeuristicConfig
 from repro.ir.block import Loop
@@ -66,13 +68,25 @@ def evaluate_config(
     loops: list[Loop],
     machine: MachineDescription,
     config: HeuristicConfig,
+    timeout_seconds: float | None = None,
 ) -> float:
-    """Mean normalized kernel size of ``config`` over ``loops``."""
+    """Mean normalized kernel size of ``config`` over ``loops``.
+
+    ``timeout_seconds`` bounds each loop's compile wall clock (see
+    :mod:`repro.core.faults`): a configuration that sends the pipeline
+    into pathological territory scores ``inf`` — rejected by the search
+    — instead of stalling the whole tuning run.
+    """
     values = []
     for loop in loops:
-        result = compile_loop(
-            loop, machine, PipelineConfig(heuristic=config, run_regalloc=False)
-        )
+        try:
+            with deadline(timeout_seconds):
+                result = compile_loop(
+                    loop, machine,
+                    PipelineConfig(heuristic=config, run_regalloc=False),
+                )
+        except DeadlineExceeded:
+            return math.inf
         values.append(result.metrics.normalized_kernel)
     return statistics.mean(values)
 
@@ -100,17 +114,20 @@ def tune_heuristic(
     n_trials: int = 20,
     seed: int = 0,
     incumbent: HeuristicConfig = HeuristicConfig(),
+    timeout_seconds: float | None = None,
 ) -> TuningResult:
     """Random-search / hill-climb over the heuristic's constants.
 
     ``loops`` should be a training subset (tuning on the evaluation corpus
     would be methodologically circular; tests use disjoint seeds).
+    ``timeout_seconds`` bounds each trial compilation; timed-out trials
+    score ``inf`` and are recorded in the history but never win.
     """
     if n_trials < 1:
         raise ValueError("need at least one trial")
     rng = random.Random(seed)
 
-    incumbent_obj = evaluate_config(loops, machine, incumbent)
+    incumbent_obj = evaluate_config(loops, machine, incumbent, timeout_seconds)
     best_config, best_obj = incumbent, incumbent_obj
     history = [Trial(incumbent, incumbent_obj, "incumbent")]
 
@@ -119,7 +136,7 @@ def tune_heuristic(
             candidate, kind = _sample(rng), "random"
         else:
             candidate, kind = _perturb(rng, best_config), "perturb"
-        objective = evaluate_config(loops, machine, candidate)
+        objective = evaluate_config(loops, machine, candidate, timeout_seconds)
         history.append(Trial(candidate, objective, kind))
         if objective < best_obj:
             best_config, best_obj = candidate, objective

@@ -1,0 +1,217 @@
+"""JSONL checkpointing of evaluation progress.
+
+A corpus evaluation is a grid of (loop, configuration) **cells**; each
+cell independently yields either a :class:`~repro.core.results
+.LoopMetrics` or a :class:`~repro.core.results.LoopFailure`.  A
+:class:`CheckpointLog` persists every completed cell as one JSON line,
+so a run killed hours in — machine reboot, OOM kill, Ctrl-C — restarts
+from where it died instead of from zero: ``repro evaluate --resume
+PATH`` loads the recorded cells, skips their compilations, and merges
+recorded and fresh cells into the exact order a clean run produces.
+The byte-identity guarantee of the serial/parallel runner therefore
+extends to the resume path (tables, figures, CSV — everything derived
+from metrics and failures; wall-time and cache counters describe only
+the work actually performed).
+
+The file starts with a header fingerprinting the run: corpus content
+(SHA-256 over every loop's fingerprint), configuration labels and the
+pipeline configuration.  Resuming against a different corpus, config
+set or pipeline raises :class:`CheckpointMismatch` — silently merging
+cells from a different run would corrupt the report.  A trailing
+half-written line (the line being written when the process died) is
+ignored on load; every complete line is self-contained.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.core.cache import loop_fingerprint
+from repro.core.context import PipelineConfig
+from repro.core.results import LoopFailure, LoopMetrics
+from repro.ir.block import Loop
+
+CHECKPOINT_VERSION = 1
+
+#: a cell's identity within one run: (loop index, configuration label)
+CellKey = tuple[int, str]
+
+
+class CheckpointMismatch(RuntimeError):
+    """A checkpoint was written by an incompatible run."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One completed (loop, configuration) compilation outcome."""
+
+    loop_index: int
+    config: str
+    metrics: LoopMetrics | None = None
+    failure: LoopFailure | None = None
+
+    def __post_init__(self) -> None:
+        if (self.metrics is None) == (self.failure is None):
+            raise ValueError("a cell holds exactly one of metrics/failure")
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics is not None
+
+    @property
+    def key(self) -> CellKey:
+        return (self.loop_index, self.config)
+
+    def to_json(self) -> dict:
+        doc: dict = {"type": "cell", "loop_index": self.loop_index,
+                     "config": self.config}
+        if self.metrics is not None:
+            doc["metrics"] = dataclasses.asdict(self.metrics)
+        else:
+            doc["failure"] = dataclasses.asdict(self.failure)
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Cell":
+        metrics = doc.get("metrics")
+        failure = doc.get("failure")
+        return cls(
+            loop_index=doc["loop_index"],
+            config=doc["config"],
+            metrics=LoopMetrics(**metrics) if metrics is not None else None,
+            failure=LoopFailure(**failure) if failure is not None else None,
+        )
+
+
+def run_fingerprint(
+    loops: Iterable[Loop], labels: Iterable[str], config: PipelineConfig
+) -> dict:
+    """Identity of one evaluation: corpus content, configs, pipeline.
+
+    The corpus digest chains each loop's content fingerprint in corpus
+    order, so reordering, dropping or editing any loop changes it.  The
+    pipeline digest hashes the config's stable dataclass ``repr`` (all
+    fields are scalars/dataclasses with deterministic reprs).
+    """
+    corpus = hashlib.sha256()
+    n_loops = 0
+    for loop in loops:
+        corpus.update(loop_fingerprint(loop).encode("ascii"))
+        n_loops += 1
+    return {
+        "version": CHECKPOINT_VERSION,
+        "corpus": corpus.hexdigest(),
+        "n_loops": n_loops,
+        "configs": list(labels),
+        "pipeline": hashlib.sha256(repr(config).encode("utf-8")).hexdigest(),
+    }
+
+
+class CheckpointLog:
+    """Append-only JSONL log of completed cells, flushed per cell.
+
+    Use :meth:`fresh` to start a new log (truncating any existing file)
+    or :meth:`resume` to load a compatible log and continue appending.
+    ``cells`` maps :class:`CellKey` to the recorded :class:`Cell`; the
+    runner consults it to skip completed work.
+    """
+
+    def __init__(self, path: str | os.PathLike, header: dict,
+                 cells: dict[CellKey, Cell], fh: IO[str]):
+        self.path = Path(path)
+        self.header = header
+        self.cells = cells
+        self._fh = fh
+
+    @classmethod
+    def fresh(
+        cls,
+        path: str | os.PathLike,
+        loops: Iterable[Loop],
+        labels: Iterable[str],
+        config: PipelineConfig,
+    ) -> "CheckpointLog":
+        header = {"type": "header", **run_fingerprint(loops, labels, config)}
+        fh = open(path, "w", encoding="utf-8")
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        fh.flush()
+        return cls(path, header, {}, fh)
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | os.PathLike,
+        loops: Iterable[Loop],
+        labels: Iterable[str],
+        config: PipelineConfig,
+    ) -> "CheckpointLog":
+        """Load ``path`` and continue it; a missing file starts fresh."""
+        path = Path(path)
+        loops = list(loops)
+        labels = list(labels)
+        if not path.exists():
+            return cls.fresh(path, loops, labels, config)
+
+        expected = run_fingerprint(loops, labels, config)
+        header, cells = cls._load(path, expected)
+        fh = open(path, "a", encoding="utf-8")
+        return cls(path, header, cells, fh)
+
+    @staticmethod
+    def _load(path: Path, expected: dict) -> tuple[dict, dict[CellKey, Cell]]:
+        header: dict | None = None
+        cells: dict[CellKey, Cell] = {}
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    # the line being written when the run died; every
+                    # complete line before it is still valid
+                    break
+                if doc.get("type") == "header":
+                    header = doc
+                    mismatched = sorted(
+                        k for k, v in expected.items() if doc.get(k) != v
+                    )
+                    if mismatched:
+                        raise CheckpointMismatch(
+                            f"checkpoint {path} was written by a different run "
+                            f"(mismatched: {', '.join(mismatched)}); refusing "
+                            f"to merge its cells"
+                        )
+                elif doc.get("type") == "cell":
+                    if header is None:
+                        raise CheckpointMismatch(
+                            f"checkpoint {path} has no header (line {lineno})"
+                        )
+                    cell = Cell.from_json(doc)
+                    cells[cell.key] = cell
+        if header is None:
+            raise CheckpointMismatch(f"checkpoint {path} is empty")
+        return header, cells
+
+    def record(self, cell: Cell) -> None:
+        """Persist one completed cell (idempotent per key on reload)."""
+        self.cells[cell.key] = cell
+        self._fh.write(json.dumps(cell.to_json(), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CheckpointLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

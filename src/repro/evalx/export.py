@@ -9,6 +9,7 @@ re-run the compiler.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 
@@ -90,7 +91,7 @@ def run_to_json(run: EvalRun) -> str:
             for label, metrics in run.per_config.items()
         },
         "elapsed_seconds": run.elapsed_seconds,
-        "failures": run.failures,
+        "failures": [dataclasses.asdict(f) for f in run.failures],
     }
     for n in (2, 4, 8):
         try:

@@ -8,10 +8,26 @@ harness prints this, and EXPERIMENTS.md is generated from it.
 
 from __future__ import annotations
 
+from repro.core.results import LoopFailure
 from repro.evalx.figures import PAPER_ZERO_DEGRADATION, compute_figure
 from repro.evalx.runner import EvalRun
 from repro.evalx.table1 import compute_table1
 from repro.evalx.table2 import compute_table2
+
+
+def render_failures(failures: list[LoopFailure]) -> str:
+    """Tabulate recorded failures: which cell, what kind, how hard we tried."""
+    lines = [
+        f"Failures ({len(failures)}):",
+        f"  {'config':<24s} {'loop':<20s} {'kind':<9s} {'attempts':>8s}  error",
+    ]
+    for f in failures:
+        error = f.error if len(f.error) <= 60 else f.error[:57] + "..."
+        lines.append(
+            f"  {f.config:<24s} {f.loop_name:<20s} {f.kind:<9s} "
+            f"{f.attempts:>8d}  {error}"
+        )
+    return "\n".join(lines)
 
 
 def render_full_report(run: EvalRun, corpus_note: str = "") -> str:
@@ -30,6 +46,9 @@ def render_full_report(run: EvalRun, corpus_note: str = "") -> str:
         f"corpus: {n_loops} loops; evaluation wall time "
         f"{run.elapsed_seconds:.1f}s; failures: {len(run.failures)}"
     )
+    if run.failures:
+        parts.append("")
+        parts.append(render_failures(run.failures))
     parts.append("")
     parts.append(t1.format())
     parts.append("")

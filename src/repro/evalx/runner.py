@@ -5,18 +5,36 @@ configurations (2/4/8 clusters x embedded/copy-unit) and collects
 :class:`~repro.core.results.LoopMetrics` per configuration.  Table,
 figure and report modules consume the resulting :class:`EvalRun`.
 
-Two execution strategies produce identical results:
+The run is a grid of (loop, configuration) **cells**; each cell yields
+either a ``LoopMetrics`` or a :class:`~repro.core.results.LoopFailure`.
+Two execution strategies fill the grid:
 
 * **serial** (``jobs=1``, the default) — one process, one shared
   :class:`~repro.core.cache.ArtifactCache`, so each loop's DDG and
   16-wide ideal schedule are computed once and reused by the other five
   configurations;
-* **parallel** (``jobs=N``) — a :class:`~concurrent.futures
-  .ProcessPoolExecutor` over chunks of loops.  Each work item compiles a
-  chunk of loops across *all* requested configurations with a
-  worker-local cache (preserving the cross-configuration reuse), and the
-  merge step reassembles metrics and failures in the exact order the
-  serial runner would have produced them.
+* **parallel** (``jobs=N``) — ``submit()``-based futures on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` over chunks of
+  loops.  Each work item compiles a chunk of loops across *all*
+  requested configurations with a worker-local cache (preserving the
+  cross-configuration reuse).
+
+Both strategies are **fault-tolerant** (see :mod:`repro.core.faults`):
+
+* a per-cell wall-clock ``timeout`` degrades a hung schedule to a
+  recorded ``timeout`` failure, enforced inside the (worker) process so
+  even CPU-bound pure-Python loops are interrupted;
+* a crashed or unpicklable worker poisons only its chunk: the chunk is
+  retried once at chunk-size 1 to isolate the bad loop, which is then
+  recorded as a ``crash`` failure while every other loop's metrics
+  survive;
+* an optional :class:`~repro.evalx.checkpoint.CheckpointLog` persists
+  each completed cell, so an interrupted run resumes from where it died.
+
+However the grid was filled — serially, in parallel, resumed, or any
+mix — the assembly step orders cells configuration-major/loop-minor,
+exactly the order a clean serial run produces, so tables, figures, CSV
+and the failure list are byte-identical across strategies.
 """
 
 from __future__ import annotations
@@ -24,12 +42,14 @@ from __future__ import annotations
 import math
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.core.cache import ArtifactCache
+from repro.core.faults import DeadlineExceeded, deadline, maybe_inject_fault
 from repro.core.pipeline import PipelineConfig, compile_loop
-from repro.core.results import LoopMetrics
+from repro.core.results import LoopFailure, LoopMetrics
+from repro.evalx.checkpoint import Cell, CellKey, CheckpointLog, CheckpointMismatch
 from repro.ir.block import Loop
 from repro.machine.machine import CopyModel, MachineDescription
 from repro.machine.presets import paper_machine
@@ -58,16 +78,23 @@ class EvalRun:
     machines: dict[str, MachineDescription] = field(default_factory=dict)
     per_config: dict[str, list[LoopMetrics]] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
-    failures: list[tuple[str, str, str]] = field(default_factory=list)
+    failures: list[LoopFailure] = field(default_factory=list)
     #: how the run executed (1 = serial) and what the artifact cache saw
     jobs: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
     #: aggregate wall time per pass name, summed over every compilation
     pass_seconds: dict[str, float] = field(default_factory=dict)
+    #: per-cell wall-clock budget (None = unbounded)
+    timeout_seconds: float | None = None
+    #: cells served from a resume checkpoint instead of compiled
+    resumed_cells: int = 0
 
     def config_labels(self) -> list[str]:
-        return [config_label(n, m) for n, m in PAPER_CONFIG_ORDER if config_label(n, m) in self.per_config]
+        # per_config is populated in the requested configuration order, so
+        # insertion order *is* presentation order — including for custom
+        # configurations outside PAPER_CONFIG_ORDER.
+        return list(self.per_config)
 
     def metrics_for(self, n_clusters: int, model: CopyModel) -> list[LoopMetrics]:
         return self.per_config[config_label(n_clusters, model)]
@@ -83,6 +110,36 @@ def _merge_pass_seconds(into: dict[str, float], new: dict[str, float]) -> None:
         into[name] = into.get(name, 0.0) + seconds
 
 
+def _compile_cell(
+    loop: Loop,
+    machine: MachineDescription,
+    pipeline_config: PipelineConfig,
+    cache: ArtifactCache,
+    timeout: float | None,
+):
+    """Compile one cell under the wall-clock budget (and fault fixture)."""
+    with deadline(timeout):
+        maybe_inject_fault(loop.name)
+        return compile_loop(loop, machine, pipeline_config, cache=cache)
+
+
+def _failure_cell(
+    idx: int, label: str, loop: Loop, exc: BaseException, attempts: int
+) -> Cell:
+    kind = "timeout" if isinstance(exc, DeadlineExceeded) else "exception"
+    return Cell(
+        loop_index=idx,
+        config=label,
+        failure=LoopFailure(
+            config=label,
+            loop_name=loop.name,
+            error=repr(exc),
+            kind=kind,
+            attempts=attempts,
+        ),
+    )
+
+
 def run_evaluation(
     loops: list[Loop] | None = None,
     config: PipelineConfig | None = None,
@@ -90,137 +147,283 @@ def run_evaluation(
     progress: bool = False,
     jobs: int = 1,
     cache: ArtifactCache | None = None,
+    timeout: float | None = None,
+    checkpoint: CheckpointLog | None = None,
 ) -> EvalRun:
     """Run the corpus through the pipeline for each configuration.
 
-    A loop that fails to compile for some configuration is recorded in
-    ``failures`` and excluded from that configuration's metrics — with the
-    shipped corpus there are none, and the test suite asserts that.
+    A loop that fails to compile for some configuration — by raising, by
+    exceeding ``timeout`` seconds of wall clock, or by killing its worker
+    process — is recorded in ``failures`` (with the fault kind and
+    attempt count) and excluded from that configuration's metrics; with
+    the shipped corpus there are none, and the test suite asserts that.
 
     ``jobs > 1`` fans the work out over a process pool; the resulting
     :class:`EvalRun` (metrics order, failure order, machine table) is
     identical to the serial run's.  ``cache`` lets callers share one
-    :class:`ArtifactCache` across several serial evaluations; the parallel
-    path always uses worker-local caches and only merges their stats.
+    :class:`ArtifactCache` across several serial evaluations; the
+    parallel path always uses worker-local caches and only merges their
+    stats.  ``checkpoint`` persists every completed cell and seeds the
+    run with cells already recorded (see :mod:`repro.evalx.checkpoint`);
+    timing, pass and cache statistics then cover only the work actually
+    performed, while metrics and failures merge byte-identically with an
+    uninterrupted run's.
     """
     loops = loops if loops is not None else spec95_corpus()
     pipeline_config = config if config is not None else PipelineConfig(run_regalloc=False)
+    labels = [config_label(n, m) for n, m in configs]
 
-    if jobs > 1:
-        return _run_parallel(loops, pipeline_config, configs, jobs, progress)
+    cells: dict[CellKey, Cell] = {}
+    if checkpoint is not None:
+        if checkpoint.header.get("configs") != labels or checkpoint.header.get(
+            "n_loops"
+        ) != len(loops):
+            raise CheckpointMismatch(
+                f"checkpoint {checkpoint.path} does not describe this run "
+                f"(configs/corpus size differ)"
+            )
+        cells.update(checkpoint.cells)
 
-    shared_cache = cache if cache is not None else ArtifactCache()
-    run = EvalRun(jobs=1)
+    run = EvalRun(jobs=max(1, jobs), timeout_seconds=timeout,
+                  resumed_cells=len(cells))
+    for (n_clusters, model), label in zip(configs, labels):
+        run.machines[label] = paper_machine(n_clusters, model)
+
     t0 = time.time()
+    if jobs > 1:
+        _fill_parallel(
+            run, cells, loops, pipeline_config, configs, jobs, progress,
+            timeout, checkpoint,
+        )
+    else:
+        _fill_serial(
+            run, cells, loops, pipeline_config, configs, progress, cache,
+            timeout, checkpoint,
+        )
+
+    # deterministic assembly: configuration-major, loop-minor — the order
+    # a clean serial run produces, whatever actually filled the grid
+    for label in labels:
+        metrics: list[LoopMetrics] = []
+        for i in range(len(loops)):
+            cell = cells.get((i, label))
+            if cell is not None and cell.ok:
+                metrics.append(cell.metrics)
+        run.per_config[label] = metrics
+    for label in labels:
+        for i in range(len(loops)):
+            cell = cells.get((i, label))
+            if cell is not None and not cell.ok:
+                run.failures.append(cell.failure)
+    run.elapsed_seconds = time.time() - t0
+    return run
+
+
+def _record(
+    run_cells: dict[CellKey, Cell], checkpoint: CheckpointLog | None, cell: Cell
+) -> None:
+    run_cells[cell.key] = cell
+    if checkpoint is not None:
+        checkpoint.record(cell)
+
+
+# ----------------------------------------------------------------------
+# Serial execution
+# ----------------------------------------------------------------------
+
+
+def _fill_serial(
+    run: EvalRun,
+    cells: dict[CellKey, Cell],
+    loops: list[Loop],
+    pipeline_config: PipelineConfig,
+    configs: tuple[tuple[int, CopyModel], ...],
+    progress: bool,
+    cache: ArtifactCache | None,
+    timeout: float | None,
+    checkpoint: CheckpointLog | None,
+) -> None:
+    shared_cache = cache if cache is not None else ArtifactCache()
     hits0, misses0 = shared_cache.stats.hits, shared_cache.stats.misses
     for n_clusters, model in configs:
         label = config_label(n_clusters, model)
-        machine = paper_machine(n_clusters, model)
-        run.machines[label] = machine
-        metrics: list[LoopMetrics] = []
+        compiled = 0
         for i, loop in enumerate(loops):
-            try:
-                result = compile_loop(loop, machine, pipeline_config, cache=shared_cache)
-            except Exception as exc:
-                run.failures.append((label, loop.name, repr(exc)))
+            if (i, label) in cells:
                 continue
-            metrics.append(result.metrics)
-            _merge_pass_seconds(run.pass_seconds, result.pass_seconds)
-            if progress and (i + 1) % 50 == 0:
-                print(f"  [{label}] {i + 1}/{len(loops)}", file=sys.stderr)
-        run.per_config[label] = metrics
+            try:
+                result = _compile_cell(
+                    loop, run.machines[label], pipeline_config, shared_cache, timeout
+                )
+            except Exception as exc:
+                cell = _failure_cell(i, label, loop, exc, attempts=1)
+            else:
+                cell = Cell(loop_index=i, config=label, metrics=result.metrics)
+                _merge_pass_seconds(run.pass_seconds, result.pass_seconds)
+            _record(cells, checkpoint, cell)
+            compiled += 1
+            if progress and compiled % 50 == 0:
+                print(f"  [{label}] {compiled}/{len(loops)}", file=sys.stderr)
         if progress:
-            print(f"[{label}] done: {len(metrics)} loops", file=sys.stderr)
+            print(f"[{label}] done: {compiled} compiled", file=sys.stderr)
     run.cache_hits = shared_cache.stats.hits - hits0
     run.cache_misses = shared_cache.stats.misses - misses0
-    run.elapsed_seconds = time.time() - t0
-    return run
 
 
 # ----------------------------------------------------------------------
 # Parallel execution
 # ----------------------------------------------------------------------
 
-#: one compiled (loop, config) cell crossing the process boundary:
-#: (loop_index, config_label, ok, payload) where payload is a LoopMetrics
-#: on success or (loop_name, repr(exc)) on failure.
-_Cell = tuple[int, str, bool, object]
+#: one unit of pool work: ([(loop index, loop), ...], configs, pipeline
+#: config, per-cell timeout, cell keys to skip, attempt number stamped
+#: into failures produced by this payload.
+_Payload = tuple[
+    list[tuple[int, Loop]],
+    tuple[tuple[int, CopyModel], ...],
+    PipelineConfig,
+    float | None,
+    frozenset[CellKey],
+    int,
+]
 
 
 def _compile_chunk(
-    payload: tuple[list[tuple[int, Loop]], tuple[tuple[int, CopyModel], ...], PipelineConfig],
-) -> tuple[list[_Cell], int, int, dict[str, float]]:
+    payload: _Payload,
+) -> tuple[list[Cell], int, int, dict[str, float]]:
     """Worker: compile a chunk of loops across every configuration.
 
     Machines are rebuilt locally (a ``MachineDescription`` holds a
     mapping-proxy latency table and does not pickle); loops and configs
     do pickle.  The worker-local cache gives each loop in the chunk the
-    same 1-miss/(n_configs - 1)-hit profile as the serial runner.
+    same 1-miss/(n_configs - 1)-hit profile as the serial runner.  The
+    per-cell deadline runs *here*, in the worker's main thread, so a
+    hung compilation degrades to a ``timeout`` cell instead of stalling
+    the whole run.
     """
-    chunk, configs, pipeline_config = payload
+    chunk, configs, pipeline_config, timeout, skip, attempt = payload
     cache = ArtifactCache()
     machines = {
         config_label(n, model): paper_machine(n, model) for n, model in configs
     }
-    cells: list[_Cell] = []
+    cells: list[Cell] = []
     pass_seconds: dict[str, float] = {}
     for idx, loop in chunk:
         for n_clusters, model in configs:
             label = config_label(n_clusters, model)
-            try:
-                result = compile_loop(loop, machines[label], pipeline_config, cache=cache)
-            except Exception as exc:
-                cells.append((idx, label, False, (loop.name, repr(exc))))
+            if (idx, label) in skip:
                 continue
-            cells.append((idx, label, True, result.metrics))
+            try:
+                result = _compile_cell(
+                    loop, machines[label], pipeline_config, cache, timeout
+                )
+            except Exception as exc:
+                cells.append(_failure_cell(idx, label, loop, exc, attempt))
+                continue
+            cells.append(Cell(loop_index=idx, config=label, metrics=result.metrics))
             _merge_pass_seconds(pass_seconds, result.pass_seconds)
     return cells, cache.stats.hits, cache.stats.misses, pass_seconds
 
 
-def _run_parallel(
+def _fill_parallel(
+    run: EvalRun,
+    cells: dict[CellKey, Cell],
     loops: list[Loop],
     pipeline_config: PipelineConfig,
     configs: tuple[tuple[int, CopyModel], ...],
     jobs: int,
     progress: bool,
-) -> EvalRun:
-    run = EvalRun(jobs=jobs)
-    t0 = time.time()
-    for n_clusters, model in configs:
-        run.machines[config_label(n_clusters, model)] = paper_machine(n_clusters, model)
+    timeout: float | None,
+    checkpoint: CheckpointLog | None,
+) -> None:
+    labels = [config_label(n, m) for n, m in configs]
+    indexed = [
+        (i, loop)
+        for i, loop in enumerate(loops)
+        if any((i, label) not in cells for label in labels)
+    ]
+    if not indexed:
+        return
+    done_keys = frozenset(cells)
 
-    indexed = list(enumerate(loops))
+    def skip_for(chunk: list[tuple[int, Loop]]) -> frozenset[CellKey]:
+        ids = {i for i, _ in chunk}
+        return frozenset(k for k in done_keys if k[0] in ids)
+
     chunk_size = max(1, math.ceil(len(indexed) / (jobs * 4)))
     chunks = [indexed[i:i + chunk_size] for i in range(0, len(indexed), chunk_size)]
-    payloads = [(chunk, configs, pipeline_config) for chunk in chunks]
 
-    ok_cells: dict[str, dict[int, LoopMetrics]] = {
-        config_label(n, m): {} for n, m in configs
-    }
-    fail_cells: dict[str, dict[int, tuple[str, str]]] = {
-        config_label(n, m): {} for n, m in configs
-    }
+    def absorb(result: tuple[list[Cell], int, int, dict[str, float]]) -> None:
+        chunk_cells, hits, misses, pass_seconds = result
+        for cell in chunk_cells:
+            _record(cells, checkpoint, cell)
+        run.cache_hits += hits
+        run.cache_misses += misses
+        _merge_pass_seconds(run.pass_seconds, pass_seconds)
+
+    # Phase 1: every chunk as one future.  A worker death (or a payload/
+    # result that will not pickle) fails the futures sharing its pool
+    # fate; those chunks are set aside instead of aborting the run.
+    poisoned: list[list[tuple[int, Loop]]] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for done, (cells, hits, misses, pass_seconds) in enumerate(
-            pool.map(_compile_chunk, payloads)
-        ):
-            for idx, label, ok, value in cells:
-                if ok:
-                    ok_cells[label][idx] = value
-                else:
-                    fail_cells[label][idx] = value
-            run.cache_hits += hits
-            run.cache_misses += misses
-            _merge_pass_seconds(run.pass_seconds, pass_seconds)
-            if progress:
-                print(f"  chunk {done + 1}/{len(chunks)} done", file=sys.stderr)
+        futures: dict[Future, list[tuple[int, Loop]]] = {}
+        for chunk in chunks:
+            payload: _Payload = (
+                chunk, configs, pipeline_config, timeout, skip_for(chunk), 1
+            )
+            futures[pool.submit(_compile_chunk, payload)] = chunk
+        done = 0
+        not_done = set(futures)
+        while not_done:
+            finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                try:
+                    absorb(fut.result())
+                except Exception:
+                    poisoned.append(futures[fut])
+                    continue
+                finally:
+                    done += 1
+                    if progress:
+                        print(f"  chunk {done}/{len(chunks)} done", file=sys.stderr)
 
-    # deterministic, serial-order merge: configuration-major, loop-minor
-    for n_clusters, model in configs:
-        label = config_label(n_clusters, model)
-        run.per_config[label] = [ok_cells[label][i] for i in sorted(ok_cells[label])]
-        for i in sorted(fail_cells[label]):
-            name, err = fail_cells[label][i]
-            run.failures.append((label, name, err))
-    run.elapsed_seconds = time.time() - t0
-    return run
+    if not poisoned:
+        return
+
+    # Phase 2: isolate — retry each loop of a poisoned chunk alone in a
+    # single-worker pool.  A loop that kills its worker again is the
+    # culprit: record a crash failure for each of its outstanding cells
+    # and replace the (now broken) pool for the remaining loops.
+    if progress:
+        n_retry = sum(len(chunk) for chunk in poisoned)
+        print(f"  retrying {n_retry} loop(s) from {len(poisoned)} "
+              f"poisoned chunk(s) in isolation", file=sys.stderr)
+    pool = ProcessPoolExecutor(max_workers=1)
+    try:
+        for chunk in poisoned:
+            for idx, loop in chunk:
+                single = [(idx, loop)]
+                payload = (
+                    single, configs, pipeline_config, timeout, skip_for(single), 2
+                )
+                try:
+                    absorb(pool.submit(_compile_chunk, payload).result())
+                except Exception as exc:
+                    for label in labels:
+                        if (idx, label) in done_keys:
+                            continue
+                        failure = LoopFailure(
+                            config=label,
+                            loop_name=loop.name,
+                            error=repr(exc),
+                            kind="crash",
+                            attempts=2,
+                        )
+                        _record(
+                            cells, checkpoint,
+                            Cell(loop_index=idx, config=label, failure=failure),
+                        )
+                    # the pool is broken if the worker died; start fresh
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=1)
+    finally:
+        pool.shutdown()

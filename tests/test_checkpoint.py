@@ -1,0 +1,212 @@
+"""Checkpoint/resume: JSONL cells, interruption, byte-identical merge."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.results import LoopFailure
+from repro.evalx.checkpoint import (
+    Cell,
+    CheckpointLog,
+    CheckpointMismatch,
+    run_fingerprint,
+)
+from repro.evalx.export import run_to_csv
+from repro.evalx.figures import compute_figure
+from repro.evalx.runner import (
+    PAPER_CONFIG_ORDER,
+    config_label,
+    run_evaluation,
+)
+from repro.evalx.table1 import compute_table1
+from repro.evalx.table2 import compute_table2
+from repro.ir.block import BasicBlock, Loop
+from repro.workloads.corpus import spec95_corpus
+
+CONFIG = PipelineConfig(run_regalloc=False)
+LABELS = [config_label(n, m) for n, m in PAPER_CONFIG_ORDER]
+
+
+def rendered(run) -> str:
+    """Everything presentation-grade: tables + figures + CSV."""
+    parts = [compute_table1(run).format(), compute_table2(run).format()]
+    parts.extend(compute_figure(run, n).format() for n in (2, 4, 8))
+    parts.append(run_to_csv(run))
+    return "\n".join(parts)
+
+
+def interrupt_after(monkeypatch, n_cells: int):
+    """Make the runner's compile raise KeyboardInterrupt after n calls."""
+    import repro.core.pipeline as pipeline_mod
+
+    real = pipeline_mod.compile_loop
+    calls = {"n": 0}
+
+    def bomb(loop, machine, config, cache=None):
+        calls["n"] += 1
+        if calls["n"] > n_cells:
+            raise KeyboardInterrupt
+        return real(loop, machine, config, cache=cache)
+
+    monkeypatch.setattr("repro.evalx.runner.compile_loop", bomb)
+    return calls
+
+
+class TestCellType:
+    def test_metric_cell_roundtrip(self):
+        loops = spec95_corpus(n=1)
+        run = run_evaluation(loops=loops, config=CONFIG,
+                             configs=(PAPER_CONFIG_ORDER[0],))
+        (label,) = run.per_config
+        cell = Cell(loop_index=0, config=label, metrics=run.per_config[label][0])
+        again = Cell.from_json(json.loads(json.dumps(cell.to_json())))
+        assert again == cell and again.ok
+
+    def test_failure_cell_roundtrip(self):
+        failure = LoopFailure(config="c", loop_name="lp", error="boom",
+                              kind="timeout", attempts=2)
+        cell = Cell(loop_index=3, config="c", failure=failure)
+        again = Cell.from_json(json.loads(json.dumps(cell.to_json())))
+        assert again == cell and not again.ok
+
+    def test_cell_holds_exactly_one_payload(self):
+        with pytest.raises(ValueError):
+            Cell(loop_index=0, config="c")
+
+    def test_unknown_failure_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            LoopFailure(config="c", loop_name="lp", error="e", kind="meteor")
+
+
+class TestHeaderValidation:
+    def test_fingerprint_sensitive_to_corpus_configs_pipeline(self):
+        loops = spec95_corpus(n=3)
+        base = run_fingerprint(loops, LABELS, CONFIG)
+        assert run_fingerprint(loops[:2], LABELS, CONFIG)["corpus"] != base["corpus"]
+        assert run_fingerprint(loops, LABELS[:1], CONFIG)["configs"] != base["configs"]
+        other = PipelineConfig(run_regalloc=True)
+        assert run_fingerprint(loops, LABELS, other)["pipeline"] != base["pipeline"]
+
+    def test_resume_on_missing_path_starts_fresh(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CheckpointLog.resume(path, spec95_corpus(n=2), LABELS, CONFIG) as log:
+            assert log.cells == {}
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "header" and first["n_loops"] == 2
+
+    def test_mismatched_corpus_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointLog.fresh(path, spec95_corpus(n=3), LABELS, CONFIG).close()
+        with pytest.raises(CheckpointMismatch, match="different run"):
+            CheckpointLog.resume(path, spec95_corpus(n=4), LABELS, CONFIG)
+
+    def test_mismatched_pipeline_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        loops = spec95_corpus(n=3)
+        CheckpointLog.fresh(path, loops, LABELS, CONFIG).close()
+        with pytest.raises(CheckpointMismatch, match="pipeline"):
+            CheckpointLog.resume(path, loops, LABELS,
+                                 PipelineConfig(run_regalloc=True))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text("")
+        with pytest.raises(CheckpointMismatch, match="empty"):
+            CheckpointLog.resume(path, spec95_corpus(n=2), LABELS, CONFIG)
+
+    def test_truncated_tail_line_ignored(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        loops = spec95_corpus(n=2)
+        with CheckpointLog.fresh(path, loops, LABELS, CONFIG) as log:
+            failure = LoopFailure(config=LABELS[0], loop_name=loops[0].name,
+                                  error="boom")
+            log.record(Cell(loop_index=0, config=LABELS[0], failure=failure))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "cell", "loop_index": 1, "conf')  # killed mid-write
+        with CheckpointLog.resume(path, loops, LABELS, CONFIG) as log:
+            assert list(log.cells) == [(0, LABELS[0])]
+
+    def test_runner_cross_checks_checkpoint_header(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CheckpointLog.fresh(path, spec95_corpus(n=3), LABELS, CONFIG) as log:
+            with pytest.raises(CheckpointMismatch, match="does not describe"):
+                run_evaluation(loops=spec95_corpus(n=4), config=CONFIG,
+                               checkpoint=log)
+
+
+class TestResume:
+    def test_interrupted_serial_run_resumes_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        loops = spec95_corpus(n=5)
+        clean = run_evaluation(loops=loops, config=CONFIG)
+
+        path = tmp_path / "ck.jsonl"
+        interrupt_after(monkeypatch, 7)
+        with CheckpointLog.fresh(path, loops, LABELS, CONFIG) as log:
+            with pytest.raises(KeyboardInterrupt):
+                run_evaluation(loops=loops, config=CONFIG, checkpoint=log)
+        monkeypatch.undo()
+
+        with CheckpointLog.resume(path, loops, LABELS, CONFIG) as log:
+            assert len(log.cells) == 7  # flushed before the "crash"
+            resumed = run_evaluation(loops=loops, config=CONFIG, checkpoint=log)
+        assert resumed.resumed_cells == 7
+        assert resumed.per_config == clean.per_config
+        assert resumed.failures == clean.failures
+        assert rendered(resumed) == rendered(clean)
+
+    def test_interrupted_run_resumes_in_parallel(self, tmp_path, monkeypatch):
+        loops = spec95_corpus(n=4)
+        clean = run_evaluation(loops=loops, config=CONFIG)
+
+        path = tmp_path / "ck.jsonl"
+        interrupt_after(monkeypatch, 9)
+        with CheckpointLog.fresh(path, loops, LABELS, CONFIG) as log:
+            with pytest.raises(KeyboardInterrupt):
+                run_evaluation(loops=loops, config=CONFIG, checkpoint=log)
+        monkeypatch.undo()
+
+        with CheckpointLog.resume(path, loops, LABELS, CONFIG) as log:
+            resumed = run_evaluation(loops=loops, config=CONFIG, checkpoint=log,
+                                     jobs=2)
+        assert resumed.resumed_cells == 9
+        assert rendered(resumed) == rendered(clean)
+
+    def test_parallel_checkpoint_resumes_serially(self, tmp_path, monkeypatch):
+        loops = spec95_corpus(n=4)
+        clean = run_evaluation(loops=loops, config=CONFIG)
+
+        path = tmp_path / "ck.jsonl"
+        with CheckpointLog.fresh(path, loops, LABELS, CONFIG) as log:
+            run_evaluation(loops=loops, config=CONFIG, checkpoint=log, jobs=2)
+
+        # a complete checkpoint needs zero compilations to reproduce the run
+        def never(*_a, **_k):
+            raise AssertionError("resume of a complete checkpoint recompiled")
+
+        monkeypatch.setattr("repro.evalx.runner.compile_loop", never)
+        with CheckpointLog.resume(path, loops, LABELS, CONFIG) as log:
+            assert len(log.cells) == len(loops) * len(LABELS)
+            resumed = run_evaluation(loops=loops, config=CONFIG, checkpoint=log)
+        assert resumed.resumed_cells == len(loops) * len(LABELS)
+        assert rendered(resumed) == rendered(clean)
+
+    def test_failures_roundtrip_through_checkpoint(self, tmp_path, monkeypatch):
+        broken = Loop(name="zz_broken", body=BasicBlock("zz_broken"))
+        loops = spec95_corpus(n=3) + [broken]
+        clean = run_evaluation(loops=loops, config=CONFIG)
+        assert clean.failures  # the empty loop fails everywhere
+
+        path = tmp_path / "ck.jsonl"
+        interrupt_after(monkeypatch, 10)
+        with CheckpointLog.fresh(path, loops, LABELS, CONFIG) as log:
+            with pytest.raises(KeyboardInterrupt):
+                run_evaluation(loops=loops, config=CONFIG, checkpoint=log)
+        monkeypatch.undo()
+
+        with CheckpointLog.resume(path, loops, LABELS, CONFIG) as log:
+            resumed = run_evaluation(loops=loops, config=CONFIG, checkpoint=log)
+        assert resumed.failures == clean.failures
+        assert rendered(resumed) == rendered(clean)

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 
 
@@ -69,3 +71,58 @@ class TestPackageSurface:
         m = repro.paper_machine(2, repro.CopyModel.EMBEDDED)
         result = repro.compile_loop(loop, m, repro.PipelineConfig(run_regalloc=False))
         assert result.metrics.partitioned_ii >= 1
+
+
+class TestEvaluateQuickValidation:
+    def test_quick_zero_rejected(self):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["evaluate", "--quick", "0"])
+
+    def test_quick_negative_rejected(self):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["evaluate", "--quick", "-3"])
+
+
+class TestEvaluateFaultSurfaces:
+    def test_failures_render_and_fail_the_exit_code(self, capsys, monkeypatch):
+        from repro.core.faults import FAULT_RAISE_ENV
+
+        monkeypatch.setenv(FAULT_RAISE_ENV, "daxpy")
+        assert main(["evaluate", "--quick", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "Failures (6):" in out
+        assert "daxpy" in out
+        assert "exception" in out
+        assert "injected fault" in out
+
+    def test_timeout_flag_accepted(self, capsys):
+        assert main(["evaluate", "--quick", "3", "--timeout", "300"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestEvaluateCheckpointFlags:
+    @staticmethod
+    def _stable(text):
+        # drop the wall-time line; everything else must be reproducible
+        return [ln for ln in text.splitlines() if not ln.startswith("corpus:")]
+
+    def test_checkpoint_then_resume_reproduces_report(self, tmp_path, capsys):
+        ckpt = tmp_path / "ck.jsonl"
+        assert main(["evaluate", "--quick", "4", "--checkpoint", str(ckpt)]) == 0
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+        assert main(["evaluate", "--quick", "4", "--resume", str(ckpt)]) == 0
+        second = capsys.readouterr().out
+        assert self._stable(second) == self._stable(first)
+
+    def test_checkpoint_and_resume_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["evaluate", "--quick", "2",
+                  "--checkpoint", str(tmp_path / "a"),
+                  "--resume", str(tmp_path / "b")])
+
+    def test_incompatible_resume_is_a_clean_error(self, tmp_path):
+        ckpt = tmp_path / "ck.jsonl"
+        assert main(["evaluate", "--quick", "3", "--checkpoint", str(ckpt)]) == 0
+        with pytest.raises(SystemExit, match="different run"):
+            main(["evaluate", "--quick", "4", "--resume", str(ckpt)])

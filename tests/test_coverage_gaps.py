@@ -134,7 +134,7 @@ class TestRunnerFailureRecording:
         monkeypatch.setattr("repro.evalx.runner.compile_loop", flaky)
         run = run_evaluation(loops=loops, configs=((2, CopyModel.EMBEDDED),))
         assert len(run.failures) == 1
-        assert "injected failure" in run.failures[0][2]
+        assert "injected failure" in run.failures[0].error
         (label,) = run.per_config
         assert len(run.per_config[label]) == 3
 

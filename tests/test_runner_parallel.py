@@ -87,10 +87,12 @@ class TestFailureRecording:
         loops = good + [broken_loop()]
         run = run_evaluation(loops=loops, config=CONFIG)
         assert len(run.failures) == 6  # once per paper configuration
-        for label, name, err in run.failures:
-            assert name == "zz_broken"
-            assert "empty" in err
-        assert {label for label, _, _ in run.failures} == set(run.per_config)
+        for failure in run.failures:
+            assert failure.loop_name == "zz_broken"
+            assert "empty" in failure.error
+            assert failure.kind == "exception"
+            assert failure.attempts == 1
+        assert {f.config for f in run.failures} == set(run.per_config)
         for metrics in run.per_config.values():
             assert len(metrics) == len(good)
             assert all(m.loop_name != "zz_broken" for m in metrics)

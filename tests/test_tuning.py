@@ -72,3 +72,25 @@ class TestTuneHeuristic:
         text = describe_config(HeuristicConfig())
         for name in PARAMETER_SPACE:
             assert name in text
+
+
+class TestTuningTimeout:
+    def test_timed_out_trial_scores_inf(self, training_loops, machine, monkeypatch):
+        import math
+        import time
+
+        def sleepy(loop, machine_, config, cache=None):
+            time.sleep(30)
+
+        monkeypatch.setattr("repro.core.tuning.compile_loop", sleepy)
+        objective = evaluate_config(
+            training_loops[:1], machine, HeuristicConfig(), timeout_seconds=0.2
+        )
+        assert objective == math.inf
+
+    def test_generous_timeout_matches_untimed(self, training_loops, machine):
+        untimed = evaluate_config(training_loops[:2], machine, HeuristicConfig())
+        timed = evaluate_config(
+            training_loops[:2], machine, HeuristicConfig(), timeout_seconds=300.0
+        )
+        assert timed == untimed
