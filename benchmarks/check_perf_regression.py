@@ -1,0 +1,88 @@
+"""Performance-regression gate for the compile hot path.
+
+Compares a fresh ``bench_compile_hotpath`` measurement against the
+committed baseline ``BENCH_compile.json`` and fails (exit 1) when the
+calibration-normalized score regressed by more than the tolerance.
+
+Both files carry a ``normalized_score`` = wall seconds / calibration
+seconds, where the calibration workload is a fixed interpreter-bound
+loop; comparing normalized scores makes the gate meaningful across hosts
+of different speeds (a slow CI runner inflates wall and calibration
+alike).
+
+Usage::
+
+    python benchmarks/check_perf_regression.py                 # run bench, compare
+    python benchmarks/check_perf_regression.py --current out.json
+    python benchmarks/check_perf_regression.py --tolerance 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_compile.json"
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> tuple[bool, str]:
+    base_score = baseline["normalized_score"]
+    cur_score = current["normalized_score"]
+    ratio = cur_score / base_score
+    lines = [
+        f"baseline: wall {baseline['wall_seconds']:.3f}s / "
+        f"calibration {baseline['calibration_seconds']:.3f}s "
+        f"= score {base_score:.2f}",
+        f"current:  wall {current['wall_seconds']:.3f}s / "
+        f"calibration {current['calibration_seconds']:.3f}s "
+        f"= score {cur_score:.2f}",
+        f"ratio: {ratio:.3f} (tolerance: {1 + tolerance:.2f})",
+    ]
+    if ratio > 1 + tolerance:
+        lines.append(
+            f"FAIL: compile hot path is {100 * (ratio - 1):.0f}% slower than "
+            f"the committed baseline (allowed: {100 * tolerance:.0f}%). "
+            "If the slowdown is intended, refresh the baseline with "
+            "`python benchmarks/bench_compile_hotpath.py --update-baseline`."
+        )
+        return False, "\n".join(lines)
+    lines.append("OK: within tolerance")
+    return True, "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE_PATH)
+    parser.add_argument("--current", type=pathlib.Path, default=None,
+                        help="measurement JSON; omitted = run the benchmark now")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        metavar="FRACTION",
+                        help=f"allowed normalized slowdown (default "
+                        f"{DEFAULT_TOLERANCE:.0%})")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    if args.current is not None:
+        current = json.loads(args.current.read_text(encoding="utf-8"))
+    else:
+        from bench_compile_hotpath import run_benchmark
+
+        cfg = baseline.get("config", {})
+        current = run_benchmark(
+            quick_n=cfg.get("quick", 40), repeats=cfg.get("repeats", 3)
+        )
+
+    ok, report = check(baseline, current, args.tolerance)
+    print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    sys.exit(main())

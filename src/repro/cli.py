@@ -119,6 +119,17 @@ def _format_pass_timing(pass_seconds: dict[str, float]) -> str:
     return "\n".join(lines)
 
 
+def _format_profile(profiler, top: int = 20) -> str:
+    """Render the hottest functions by internal time from a cProfile run."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(top)
+    return "--- cProfile (top by internal time) ---\n" + stream.getvalue().rstrip()
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evalx.checkpoint import CheckpointLog, CheckpointMismatch
     from repro.evalx.export import run_to_csv, run_to_json
@@ -149,6 +160,16 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     except CheckpointMismatch as exc:
         raise SystemExit(f"error: {exc}") from exc
 
+    profiling = args.profile or args.profile_out
+    if profiling and args.jobs > 1:
+        raise SystemExit("error: --profile only instruments the serial runner; "
+                         "drop --jobs to profile")
+    profiler = None
+    if profiling:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         run = run_evaluation(
             loops=loops,
@@ -159,17 +180,25 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
         )
     finally:
+        if profiler is not None:
+            profiler.disable()
         if checkpoint is not None:
             checkpoint.close()
     if run.resumed_cells:
         print(f"resumed {run.resumed_cells} completed cells from "
               f"{args.resume}", file=sys.stderr)
     print(render_full_report(run))
-    if args.timing:
+    if args.timing or profiling:
         print(_format_pass_timing(run.pass_seconds))
         lookups = run.cache_hits + run.cache_misses
         print(f"ideal-schedule cache: {run.cache_hits}/{lookups} hits "
               f"({100 * run.cache_hit_rate:.1f}%), jobs={run.jobs}")
+    if profiler is not None:
+        print(_format_profile(profiler))
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print(f"pstats dump written to {args.profile_out} "
+                  f"(inspect with python -m pstats or snakeviz)")
     if args.csv:
         pathlib.Path(args.csv).write_text(run_to_csv(run), encoding="utf-8")
         print(f"\nper-loop CSV written to {args.csv}")
@@ -283,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "interrupted run (and keep appending to it)")
     e.add_argument("--timing", action="store_true",
                    help="print per-pass wall times and cache statistics")
+    e.add_argument("--profile", action="store_true",
+                   help="run under cProfile; print per-pass timings and the "
+                        "hottest functions (serial runner only)")
+    e.add_argument("--profile-out", metavar="PATH",
+                   help="also dump raw pstats data to PATH (implies --profile)")
     e.set_defaults(func=cmd_evaluate)
 
     d = sub.add_parser(

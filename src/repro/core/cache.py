@@ -33,9 +33,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def loop_fingerprint(loop: Loop) -> str:
-    """Stable content hash of a loop (name, body, boundary liveness)."""
-    text = format_loop(loop)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    """Stable content hash of a loop (name, body, boundary liveness).
+
+    Memoized on the loop: six configurations key the cache with the same
+    loop instance, and rendering + hashing the body text per lookup was a
+    measurable slice of small-corpus evaluations.
+    """
+    fp = loop._fingerprint
+    if fp is None:
+        text = format_loop(loop)
+        fp = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        loop._fingerprint = fp
+    return fp
 
 
 def latency_fingerprint(latencies: LatencyTable) -> tuple:

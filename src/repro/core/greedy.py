@@ -90,6 +90,12 @@ def greedy_partition(
     still spreading dense loops.  With ``config.literal_figure4`` the
     historically-literal variant is used (see
     :class:`~repro.core.weights.HeuristicConfig`).
+
+    Each node is placed with a single pass over its adjacency list,
+    accumulating per-bank benefit (instead of a banks x neighbors scan),
+    against incrementally-maintained bank sizes — O(V log V + E) overall.
+    ``_reference_greedy_partition`` keeps the direct transcription for
+    the golden-equivalence property tests.
     """
     if n_banks < 1:
         raise ValueError("need at least one bank")
@@ -99,6 +105,122 @@ def greedy_partition(
     # scales with DDD density and nesting depth; normalizing by the mean
     # positive (affinity) edge weight makes the "spread somewhat evenly"
     # pressure meaningful for every loop rather than only for sparse ones.
+    # One unsorted pass collects both the positive mean and its
+    # absolute-value fallback.
+    pos_sum = 0.0
+    pos_n = 0
+    abs_sum = 0.0
+    abs_n = 0
+    for w in rcg.edge_weight_values():
+        if w > 0:
+            pos_sum += w
+            pos_n += 1
+        abs_sum += abs(w)
+        abs_n += 1
+    if pos_n:
+        weight_scale = pos_sum / pos_n
+    elif abs_n:
+        weight_scale = abs_sum / abs_n
+    else:
+        weight_scale = 1.0
+    penalty = config.balance_penalty * weight_scale
+
+    if precolored:
+        for reg, bank in precolored.items():
+            if reg not in rcg:
+                raise ValueError(f"precolored register {reg} is not an RCG node")
+            partition.assign(reg, bank)
+
+    capacity: float | None = None
+    if slots_per_bank is not None and config.capacity_alpha > 0:
+        capacity = config.capacity_alpha * slots_per_bank
+
+    adjacency = rcg.adjacency()
+    assignment = partition.assignment  # rid -> bank, grows as we place
+    sizes = partition.bank_sizes()     # then maintained incrementally
+    for node in rcg.nodes_by_weight():
+        if node.rid in assignment:
+            continue
+        bank = _choose_best_bank(
+            adjacency.get(node.rid, ()), assignment, sizes, n_banks,
+            penalty, capacity, config,
+        )
+        partition.assign(node, bank)
+        sizes[bank] += 1
+    return partition
+
+
+def _choose_best_bank(
+    adj: list[tuple[int, float]],
+    assignment: dict[int, int],
+    sizes: list[int],
+    n_banks: int,
+    penalty: float,
+    capacity: float | None,
+    config: HeuristicConfig = DEFAULT_HEURISTIC,
+) -> int:
+    """One pass over the node's neighbors, accumulating per-bank benefit.
+
+    Neighbors are visited in ascending-rid order, so each bank's partial
+    sums accumulate in exactly the order the reference (per-bank rescan)
+    produced — bit-identical benefits, hence identical tie-breaks.
+    """
+    benefits = [0.0] * n_banks
+    for rid, weight in adj:
+        bank = assignment.get(rid)
+        if bank is not None:
+            benefits[bank] += weight
+
+    if capacity is not None:
+        # capacity-aware: free while the bank has spare issue slots,
+        # then steeply more expensive per register beyond capacity
+        for bank in range(n_banks):
+            benefits[bank] -= penalty * max(0.0, sizes[bank] + 1 - capacity)
+    else:
+        # "spread somewhat evenly": penalize above-average occupancy,
+        # so joining a small cluster of collaborators stays cheap
+        average = sum(sizes) / n_banks
+        for bank in range(n_banks):
+            benefits[bank] -= penalty * max(0.0, sizes[bank] - average)
+
+    if config.literal_figure4:
+        # Verbatim Figure 4: BestBenefit starts at 0 and BestBank at 0, and
+        # only a strictly positive improvement moves the choice.
+        best_bank, best_benefit = 0, 0.0
+        for bank, benefit in enumerate(benefits):
+            if benefit > best_benefit:
+                best_benefit = benefit
+                best_bank = bank
+        return best_bank
+
+    # Intent reading: argmax over banks (first bank wins ties), so the
+    # balance penalty can steer isolated nodes toward emptier banks.
+    best_bank = 0
+    best_benefit = benefits[0]
+    for bank in range(1, n_banks):
+        if benefits[bank] > best_benefit:
+            best_benefit = benefits[bank]
+            best_bank = bank
+    return best_bank
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (golden-equivalence tests)
+# ----------------------------------------------------------------------
+def _reference_greedy_partition(
+    rcg: RegisterComponentGraph,
+    n_banks: int,
+    config: HeuristicConfig = DEFAULT_HEURISTIC,
+    precolored: dict[SymbolicRegister, int] | None = None,
+    slots_per_bank: int | None = None,
+) -> Partition:
+    """The direct Figure-4 transcription: per-(node, bank) neighbor
+    rescans and full ``bank_sizes`` recomputation.  Value-identical to
+    :func:`greedy_partition`; kept as the property-test oracle."""
+    if n_banks < 1:
+        raise ValueError("need at least one bank")
+    partition = Partition(n_banks=n_banks)
+
     positives = [w for _a, _b, w in rcg.edges() if w > 0]
     if not positives:
         positives = [abs(w) for _a, _b, w in rcg.edges()] or [1.0]
@@ -118,12 +240,14 @@ def greedy_partition(
     for node in rcg.nodes_by_weight():
         if node in partition:
             continue
-        bank = _choose_best_bank(rcg, partition, node, n_banks, penalty, capacity, config)
+        bank = _reference_choose_best_bank(
+            rcg, partition, node, n_banks, penalty, capacity, config
+        )
         partition.assign(node, bank)
     return partition
 
 
-def _choose_best_bank(
+def _reference_choose_best_bank(
     rcg: RegisterComponentGraph,
     partition: Partition,
     node: SymbolicRegister,
@@ -141,18 +265,12 @@ def _choose_best_bank(
             if neighbor in partition and partition.bank_of(neighbor) == bank:
                 benefit += weight
         if capacity is not None:
-            # capacity-aware: free while the bank has spare issue slots,
-            # then steeply more expensive per register beyond capacity
             benefit -= penalty * max(0.0, sizes[bank] + 1 - capacity)
         else:
-            # "spread somewhat evenly": penalize above-average occupancy,
-            # so joining a small cluster of collaborators stays cheap
             benefit -= penalty * max(0.0, sizes[bank] - average)
         benefits.append(benefit)
 
     if config.literal_figure4:
-        # Verbatim Figure 4: BestBenefit starts at 0 and BestBank at 0, and
-        # only a strictly positive improvement moves the choice.
         best_bank, best_benefit = 0, 0.0
         for bank, benefit in enumerate(benefits):
             if benefit > best_benefit:
@@ -160,8 +278,6 @@ def _choose_best_bank(
                 best_bank = bank
         return best_bank
 
-    # Intent reading: argmax over banks (first bank wins ties), so the
-    # balance penalty can steer isolated nodes toward emptier banks.
     best_bank = 0
     best_benefit = benefits[0]
     for bank in range(1, n_banks):

@@ -29,6 +29,12 @@ class RegisterComponentGraph:
     _node_weight: dict[int, float] = field(default_factory=dict)
     _edges: dict[tuple[int, int], float] = field(default_factory=dict)
     _adj: dict[int, set[int]] = field(default_factory=dict)
+    #: lazily-built rid -> [(neighbor rid, weight)] sorted adjacency,
+    #: invalidated on mutation; lets the partitioner's inner loop avoid
+    #: re-sorting adjacency sets on every ``neighbors`` call
+    _sorted_adj: dict[int, list[tuple[int, float]]] | None = field(
+        default=None, repr=False
+    )
 
     # ------------------------------------------------------------------
     # construction
@@ -40,8 +46,13 @@ class RegisterComponentGraph:
             self._adj[reg.rid] = set()
 
     def add_node_weight(self, reg: SymbolicRegister, weight: float) -> None:
-        self.add_node(reg)
-        self._node_weight[reg.rid] += weight
+        rid = reg.rid
+        weights = self._node_weight
+        if rid not in self._nodes:
+            self._nodes[rid] = reg
+            weights[rid] = 0.0
+            self._adj[rid] = set()
+        weights[rid] += weight
 
     def add_edge_weight(self, a: SymbolicRegister, b: SymbolicRegister, weight: float) -> None:
         """Add ``weight`` to edge (a, b), creating it at 0 if absent.
@@ -49,14 +60,25 @@ class RegisterComponentGraph:
         Self-edges are meaningless for partitioning (a register is always
         in its own bank) and are rejected.
         """
-        if a.rid == b.rid:
+        arid, brid = a.rid, b.rid
+        if arid == brid:
             raise ValueError(f"RCG self-edge on {a}")
-        self.add_node(a)
-        self.add_node(b)
-        key = _edge_key(a, b)
-        self._edges[key] = self._edges.get(key, 0.0) + weight
-        self._adj[a.rid].add(b.rid)
-        self._adj[b.rid].add(a.rid)
+        nodes = self._nodes
+        adj = self._adj
+        if arid not in nodes:
+            nodes[arid] = a
+            self._node_weight[arid] = 0.0
+            adj[arid] = set()
+        if brid not in nodes:
+            nodes[brid] = b
+            self._node_weight[brid] = 0.0
+            adj[brid] = set()
+        key = (arid, brid) if arid <= brid else (brid, arid)
+        edges = self._edges
+        edges[key] = edges.get(key, 0.0) + weight
+        adj[arid].add(brid)
+        adj[brid].add(arid)
+        self._sorted_adj = None
 
     # ------------------------------------------------------------------
     # queries
@@ -77,14 +99,37 @@ class RegisterComponentGraph:
     def edge_weight(self, a: SymbolicRegister, b: SymbolicRegister) -> float:
         return self._edges.get(_edge_key(a, b), 0.0)
 
+    def adjacency(self) -> dict[int, list[tuple[int, float]]]:
+        """rid -> [(neighbor rid, weight)] in ascending-rid order.
+
+        Built once and cached until the next mutation; the greedy
+        partitioner's benefit accumulation iterates this in O(deg) per
+        node instead of re-sorting ``_adj`` sets per (node, bank) probe.
+        """
+        if self._sorted_adj is None:
+            edges = self._edges
+            adj: dict[int, list[tuple[int, float]]] = {}
+            for rid, nbrs in self._adj.items():
+                adj[rid] = [
+                    (n, edges[(rid, n) if rid <= n else (n, rid)])
+                    for n in sorted(nbrs)
+                ]
+            self._sorted_adj = adj
+        return self._sorted_adj
+
     def neighbors(self, reg: SymbolicRegister) -> Iterator[tuple[SymbolicRegister, float]]:
         """(neighbor, edge weight) pairs in deterministic order."""
-        for rid in sorted(self._adj.get(reg.rid, ())):
-            yield self._nodes[rid], self._edges[_edge_key(reg, self._nodes[rid])]
+        for rid, weight in self.adjacency().get(reg.rid, ()):
+            yield self._nodes[rid], weight
 
     def edges(self) -> Iterator[tuple[SymbolicRegister, SymbolicRegister, float]]:
         for (ra, rb), w in sorted(self._edges.items()):
             yield self._nodes[ra], self._nodes[rb], w
+
+    def edge_weight_values(self):
+        """Edge weights in insertion order, without the ``edges()`` sort —
+        for order-independent aggregates (sums, counts, extrema)."""
+        return self._edges.values()
 
     @property
     def n_edges(self) -> int:

@@ -111,32 +111,40 @@ def _ingest_schedule(
     depth_factor = config.depth_base ** depth
     density_factor = density if config.use_density else 1.0
     scale = depth_factor * density_factor
+    affinity = config.affinity_scale * scale
+    antiaffinity = config.antiaffinity_scale * scale
 
     for instr in instructions:
-        # positive: def-use pairs within each operation
+        # positive: def-use pairs within each operation.  Defined/used
+        # tuples and the flexibility weight are computed once per op here
+        # and reused by the quadratic def-def pass below.
+        per_op: list[tuple[tuple, float]] = []
         for op in instr:
-            w = config.affinity_scale * scale * config.flexibility_weight(slack[op.op_id])
-            for d in op.defined():
-                for u in op.used():
+            defined = op.defined()
+            used = op.used()
+            fw = config.flexibility_weight(slack[op.op_id])
+            per_op.append((defined, fw))
+            w = affinity * fw
+            for d in defined:
+                for u in used:
                     if d.rid == u.rid:
                         continue  # accumulator: same register, no self-edge
                     rcg.add_edge_weight(d, u, w)
                     rcg.add_node_weight(d, w)
                     rcg.add_node_weight(u, w)
             # ensure every register is an RCG node even if isolated
-            for r in op.registers():
+            for r in defined:
+                rcg.add_node(r)
+            for r in used:
                 rcg.add_node(r)
 
         # negative: def-def pairs across distinct operations of the same
         # instruction (they proved co-issuable in the ideal schedule)
-        for op_a, op_b in itertools.combinations(instr, 2):
-            fw = min(
-                config.flexibility_weight(slack[op_a.op_id]),
-                config.flexibility_weight(slack[op_b.op_id]),
-            )
-            w = -config.antiaffinity_scale * scale * fw
-            for d1 in op_a.defined():
-                for d2 in op_b.defined():
+        for (defs_a, fw_a), (defs_b, fw_b) in itertools.combinations(per_op, 2):
+            fw = fw_a if fw_a <= fw_b else fw_b
+            w = -antiaffinity * fw
+            for d1 in defs_a:
+                for d2 in defs_b:
                     if d1.rid == d2.rid:
                         continue
                     rcg.add_edge_weight(d1, d2, w)

@@ -7,6 +7,17 @@ computed here by a monotone feasibility search: II is feasible w.r.t.
 recurrences iff the edge-weighting ``delay - II * distance`` admits no
 positive-weight cycle.
 
+Recurrence analysis is SCC-condensed: every dependence cycle lives inside
+one strongly connected component, so the Bellman-Ford feasibility probes
+only ever relax the edges *internal* to cyclic SCCs (acyclic graphs
+short-circuit to II = 1, accumulator self-loops resolve arithmetically
+with no relaxation at all).  The condensation — along with int-indexed
+edge arrays — is built once per DDG state and cached on the graph, keyed
+by its mutation counter, so all binary-search probes, II candidates and
+repeated metric queries reuse it.  The pre-condensation implementations
+are retained as ``_reference_*`` for the golden-equivalence property
+tests (``tests/test_perf_equivalence.py``).
+
 The module also provides the *Flexibility* quantity of Section 5 — the
 slack between an operation's earliest and latest position inside a given
 ideal schedule — and height-based priorities for the schedulers.
@@ -39,9 +50,33 @@ def resource_ii(ddg: DDG, machine: MachineDescription) -> int:
     """
     if len(ddg) == 0:
         return 1
+
+    # The modulo scheduler and the metrics pass both ask for ResII of the
+    # same (graph, machine) pair several times per compilation; memoize on
+    # the DDG keyed by its mutation counter and the machine's resource
+    # shape (ops' cluster fields cannot change without a DDG rebuild on
+    # every path through the pipeline — rewrites clone operations).
+    machine_key = (
+        machine.n_clusters,
+        machine.fus_per_cluster,
+        machine.copy_model,
+        machine.copy_ports_per_cluster,
+        machine.n_buses,
+    )
+    cached = getattr(ddg, "_resource_ii_cache", None)
+    if cached is None or cached[0] != ddg._version:
+        cached = (ddg._version, {})
+        ddg._resource_ii_cache = cached
+    memo = cached[1]
+    hit = memo.get(machine_key)
+    if hit is not None:
+        return hit
+
     unassigned = sum(1 for op in ddg.ops if op.cluster is None)
     if unassigned == len(ddg.ops) or not machine.is_clustered:
-        return max(1, math.ceil(len(ddg.ops) / machine.width))
+        result = max(1, math.ceil(len(ddg.ops) / machine.width))
+        memo[machine_key] = result
+        return result
 
     fu_demand = [0] * machine.n_clusters
     copy_port_demand = [0] * machine.n_clusters
@@ -62,7 +97,201 @@ def resource_ii(ddg: DDG, machine: MachineDescription) -> int:
         )
         if machine.n_buses:
             bounds.append(math.ceil(total_copies / machine.n_buses))
-    return max(1, *bounds)
+    result = max(1, *bounds)
+    memo[machine_key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Cached analysis index: int-indexed edge arrays + SCC condensation
+# ----------------------------------------------------------------------
+class _SCC:
+    """One cyclic strongly connected component, in local index space."""
+
+    __slots__ = ("nodes", "esrc", "edst", "edelay", "edist", "delay_sum",
+                 "self_lo", "zero_distance_cycle")
+
+    def __init__(self, nodes: list[int]) -> None:
+        self.nodes = nodes            # global node indices, for diagnostics
+        self.esrc: list[int] = []     # internal edges, local endpoints,
+        self.edst: list[int] = []     # in global ddg.edges() order
+        self.edelay: list[int] = []
+        self.edist: list[int] = []
+        self.delay_sum = 0
+        self.self_lo = 1              # ceil(delay/distance) over self-edges
+        self.zero_distance_cycle = False
+
+    @property
+    def trivial(self) -> bool:
+        """A single node whose only cycles are its own self-edges; RecII
+        resolves arithmetically (mediant inequality: composite self-loop
+        ratios never exceed the max single-edge ratio)."""
+        return len(self.nodes) == 1
+
+
+class _AnalysisIndex:
+    """Edge arrays and SCC condensation for one DDG state.
+
+    Built once per (graph, version) and cached on the DDG, so every
+    ``recurrence_ii`` probe, ``longest_path_heights`` II candidate and
+    ``critical_cycle`` hunt reuses the same int-indexed arrays instead of
+    re-walking Dependence objects and op-id dicts.
+    """
+
+    __slots__ = ("n", "m", "op_ids", "src", "dst", "delay", "dist",
+                 "out_edges", "rev_topo0", "cyclic_sccs")
+
+    def __init__(self, ddg: DDG) -> None:
+        ops = ddg.ops
+        self.n = len(ops)
+        self.op_ids = [op.op_id for op in ops]
+        id2idx = {op.op_id: i for i, op in enumerate(ops)}
+
+        src: list[int] = []
+        dst: list[int] = []
+        delay: list[int] = []
+        dist: list[int] = []
+        for e in ddg.edges():  # global edge order == ddg.edges() order
+            src.append(id2idx[e.src.op_id])
+            dst.append(id2idx[e.dst.op_id])
+            delay.append(e.delay)
+            dist.append(e.distance)
+        self.src, self.dst, self.delay, self.dist = src, dst, delay, dist
+        self.m = len(src)
+
+        out_edges: list[list[int]] = [[] for _ in range(self.n)]
+        for k in range(self.m):
+            out_edges[src[k]].append(k)
+        self.out_edges = out_edges
+
+        self.rev_topo0 = self._reverse_topo_distance0()
+        self.cyclic_sccs = self._condense()
+
+    # ------------------------------------------------------------------
+    def _reverse_topo_distance0(self) -> list[int] | None:
+        """Nodes sinks-first w.r.t. distance-0 edges (None if cyclic)."""
+        indeg = [0] * self.n
+        for k in range(self.m):
+            if self.dist[k] == 0:
+                indeg[self.dst[k]] += 1
+        ready = [v for v in range(self.n) if indeg[v] == 0]
+        order: list[int] = []
+        while ready:
+            v = ready.pop()
+            order.append(v)
+            for k in self.out_edges[v]:
+                if self.dist[k] == 0:
+                    w = self.dst[k]
+                    indeg[w] -= 1
+                    if indeg[w] == 0:
+                        ready.append(w)
+        if len(order) != self.n:
+            return None  # distance-0 cycle: malformed body, callers fall back
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    def _condense(self) -> list[_SCC]:
+        scc_of, n_sccs = self._tarjan()
+        members: list[list[int]] = [[] for _ in range(n_sccs)]
+        for v in range(self.n):
+            members[scc_of[v]].append(v)
+        has_self = [False] * n_sccs
+        for k in range(self.m):
+            if self.src[k] == self.dst[k]:
+                has_self[scc_of[self.src[k]]] = True
+
+        cyclic: dict[int, _SCC] = {}
+        local_pos: dict[int, int] = {}
+        for sid in range(n_sccs):
+            if len(members[sid]) > 1 or has_self[sid]:
+                scc = _SCC(members[sid])
+                cyclic[sid] = scc
+                for pos, v in enumerate(members[sid]):
+                    local_pos[v] = pos
+        if not cyclic:
+            return []
+
+        for k in range(self.m):  # global order keeps probes deterministic
+            sid = scc_of[self.src[k]]
+            if sid != scc_of[self.dst[k]] or sid not in cyclic:
+                continue
+            scc = cyclic[sid]
+            scc.esrc.append(local_pos[self.src[k]])
+            scc.edst.append(local_pos[self.dst[k]])
+            scc.edelay.append(self.delay[k])
+            scc.edist.append(self.dist[k])
+            scc.delay_sum += self.delay[k]
+            if self.src[k] == self.dst[k]:
+                if self.dist[k] > 0:
+                    scc.self_lo = max(
+                        scc.self_lo, -(-self.delay[k] // self.dist[k])
+                    )
+                elif self.delay[k] > 0:
+                    scc.zero_distance_cycle = True
+        return list(cyclic.values())
+
+    # ------------------------------------------------------------------
+    def _tarjan(self) -> tuple[list[int], int]:
+        """Iterative Tarjan; returns (scc id per node, number of SCCs)."""
+        UNSEEN = -1
+        index = [UNSEEN] * self.n
+        low = [0] * self.n
+        onstack = [False] * self.n
+        stack: list[int] = []
+        scc_of = [UNSEEN] * self.n
+        counter = 0
+        n_sccs = 0
+        # successor node lists (edge ids -> dst), self-loops are harmless
+        succ = [[self.dst[k] for k in self.out_edges[v]] for v in range(self.n)]
+        for root in range(self.n):
+            if index[root] != UNSEEN:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                v, pi = work[-1]
+                if pi == 0:
+                    index[v] = low[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    onstack[v] = True
+                descended = False
+                adj = succ[v]
+                for i in range(pi, len(adj)):
+                    w = adj[i]
+                    if index[w] == UNSEEN:
+                        work[-1] = (v, i + 1)
+                        work.append((w, 0))
+                        descended = True
+                        break
+                    if onstack[w] and index[w] < low[v]:
+                        low[v] = index[w]
+                if descended:
+                    continue
+                work.pop()
+                if low[v] == index[v]:
+                    while True:
+                        x = stack.pop()
+                        onstack[x] = False
+                        scc_of[x] = n_sccs
+                        if x == v:
+                            break
+                    n_sccs += 1
+                if work:
+                    u = work[-1][0]
+                    if low[v] < low[u]:
+                        low[u] = low[v]
+        return scc_of, n_sccs
+
+
+def _index(ddg: DDG) -> _AnalysisIndex:
+    """The cached :class:`_AnalysisIndex` for ``ddg``'s current state."""
+    cached = getattr(ddg, "_analysis_index", None)
+    if cached is not None and cached[0] == ddg._version:
+        return cached[1]
+    idx = _AnalysisIndex(ddg)
+    ddg._analysis_index = (ddg._version, idx)
+    return idx
 
 
 # ----------------------------------------------------------------------
@@ -71,7 +300,8 @@ def resource_ii(ddg: DDG, machine: MachineDescription) -> int:
 def _has_positive_cycle(ddg: DDG, ii: int) -> bool:
     """Bellman-Ford-style longest-path relaxation on edge weights
     ``delay - ii * distance``; a relaxation still possible after |V|
-    rounds witnesses a positive cycle."""
+    rounds witnesses a positive cycle.  Reference implementation — the
+    optimized path probes per-SCC edge arrays instead."""
     n = len(ddg)
     if n == 0:
         return False
@@ -91,13 +321,60 @@ def _has_positive_cycle(ddg: DDG, ii: int) -> bool:
     return True
 
 
+def _scc_has_positive_cycle(scc: _SCC, ii: int) -> bool:
+    """Bellman-Ford restricted to one cyclic SCC's internal edges."""
+    n = len(scc.nodes)
+    esrc, edst = scc.esrc, scc.edst
+    ew = [scc.edelay[k] - ii * scc.edist[k] for k in range(len(esrc))]
+    dist = [0] * n
+    for _ in range(n):
+        changed = False
+        for k, w in enumerate(ew):
+            cand = dist[esrc[k]] + w
+            if cand > dist[edst[k]]:
+                dist[edst[k]] = cand
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def _scc_recurrence_ii(scc: _SCC) -> int:
+    """Smallest feasible II for the cycles of one SCC."""
+    if scc.zero_distance_cycle:
+        raise ValueError("DDG has a positive cycle at maximal II; zero-distance cycle?")
+    if scc.trivial:
+        return scc.self_lo  # pure accumulator: no relaxation needed
+    lo = scc.self_lo
+    hi = max(1, scc.delay_sum)
+    if _scc_has_positive_cycle(scc, hi):
+        raise ValueError("DDG has a positive cycle at maximal II; zero-distance cycle?")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _scc_has_positive_cycle(scc, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
 def recurrence_ii(ddg: DDG) -> int:
     """Smallest integer II satisfying every dependence recurrence.
 
-    Returns 1 for recurrence-free graphs.  The search space is bounded by
-    the sum of all edge delays (a single cycle cannot demand more than the
-    total delay in the graph per unit distance).
+    Returns 1 for recurrence-free graphs.  Every cycle is internal to one
+    SCC, so the answer is the max of the per-SCC feasibility searches —
+    each bounded by that SCC's delay sum rather than the whole graph's.
     """
+    if len(ddg) == 0 or ddg.n_edges == 0:
+        return 1
+    rec = 1
+    for scc in _index(ddg).cyclic_sccs:
+        rec = max(rec, _scc_recurrence_ii(scc))
+    return rec
+
+
+def _reference_recurrence_ii(ddg: DDG) -> int:
+    """The pre-condensation search (kept for golden-equivalence tests)."""
     if len(ddg) == 0 or ddg.n_edges == 0:
         return 1
     hi = max(1, sum(e.delay for e in ddg.edges()))
@@ -117,23 +394,45 @@ def recurrence_ii(ddg: DDG) -> int:
     return lo
 
 
+def _scc_has_positive_cycle_real(scc: _SCC, ii: float) -> bool:
+    n = len(scc.nodes)
+    esrc, edst = scc.esrc, scc.edst
+    ew = [scc.edelay[k] - ii * scc.edist[k] for k in range(len(esrc))]
+    dist = [0.0] * n
+    eps = 1e-9
+    for _ in range(n):
+        changed = False
+        for k, w in enumerate(ew):
+            cand = dist[esrc[k]] + w
+            if cand > dist[edst[k]] + eps:
+                dist[edst[k]] = cand
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
 def critical_cycle_ratio(ddg: DDG, tolerance: float = 1e-6) -> float:
     """The maximum cycle ratio ``delay(C)/distance(C)`` as a real number
     (``0.0`` for acyclic graphs).  ``recurrence_ii`` is its ceiling; the
     real-valued version is reported by the evaluation harness to show how
-    tight recurrence constraints are."""
+    tight recurrence constraints are.  Bisected per cyclic SCC; the
+    result is within ``tolerance`` above the true maximum ratio."""
     if len(ddg) == 0 or ddg.n_edges == 0:
         return 0.0
-    if not _has_positive_cycle_real(ddg, 0.0):
-        return 0.0
-    lo, hi = 0.0, float(max(1, sum(e.delay for e in ddg.edges())))
-    while hi - lo > tolerance:
-        mid = (lo + hi) / 2.0
-        if _has_positive_cycle_real(ddg, mid):
-            lo = mid
-        else:
-            hi = mid
-    return hi
+    best = 0.0
+    for scc in _index(ddg).cyclic_sccs:
+        if not _scc_has_positive_cycle_real(scc, 0.0):
+            continue
+        lo, hi = 0.0, float(max(1, scc.delay_sum))
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2.0
+            if _scc_has_positive_cycle_real(scc, mid):
+                lo = mid
+            else:
+                hi = mid
+        best = max(best, hi)
+    return best
 
 
 def _has_positive_cycle_real(ddg: DDG, ii: float) -> bool:
@@ -155,6 +454,22 @@ def _has_positive_cycle_real(ddg: DDG, ii: float) -> bool:
     return True
 
 
+def _reference_critical_cycle_ratio(ddg: DDG, tolerance: float = 1e-6) -> float:
+    """Whole-graph bisection (kept for golden-equivalence tests)."""
+    if len(ddg) == 0 or ddg.n_edges == 0:
+        return 0.0
+    if not _has_positive_cycle_real(ddg, 0.0):
+        return 0.0
+    lo, hi = 0.0, float(max(1, sum(e.delay for e in ddg.edges())))
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if _has_positive_cycle_real(ddg, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
 def min_ii(ddg: DDG, machine: MachineDescription) -> int:
     """``MinII = max(ResII, RecII)``."""
     return max(resource_ii(ddg, machine), recurrence_ii(ddg))
@@ -168,18 +483,26 @@ def critical_cycle(ddg: DDG) -> list[Operation]:
     (one of) the binding recurrence(s).  Used by the diagnosis tooling to
     explain *why* a partitioned loop degraded — e.g. an inter-cluster
     copy inserted on exactly these operations.
+
+    Runs the same whole-graph relaxation (same edge order, same parent
+    updates) as the original implementation, but on the cached int-indexed
+    edge arrays, so the reported cycle is unchanged.
     """
     rec = recurrence_ii(ddg)
     if rec <= 1:
         return []
+    idx = _index(ddg)
     ii = rec - 1
-    dist = {op.op_id: 0 for op in ddg.ops}
+    n = idx.n
+    src, dst = idx.src, idx.dst
+    ew = [idx.delay[k] - ii * idx.dist[k] for k in range(idx.m)]
+    dist = [0] * n
     parent: dict[int, int] = {}
-    edges = [(e.src.op_id, e.dst.op_id, e.delay - ii * e.distance) for e in ddg.edges()]
     last_updated: int | None = None
-    for _ in range(len(ddg.ops)):
+    for _ in range(n):
         last_updated = None
-        for u, v, w in edges:
+        for k, w in enumerate(ew):
+            u, v = src[k], dst[k]
             if dist[u] + w > dist[v]:
                 dist[v] = dist[u] + w
                 parent[v] = u
@@ -190,16 +513,15 @@ def critical_cycle(ddg: DDG) -> list[Operation]:
         return []
     # walk back n steps to land inside the cycle, then peel it off
     node = last_updated
-    for _ in range(len(ddg.ops)):
+    for _ in range(n):
         node = parent[node]
-    cycle_ids = [node]
+    cycle_nodes = [node]
     cur = parent[node]
     while cur != node:
-        cycle_ids.append(cur)
+        cycle_nodes.append(cur)
         cur = parent[cur]
-    cycle_ids.reverse()
-    by_id = {op.op_id: op for op in ddg.ops}
-    return [by_id[oid] for oid in cycle_ids]
+    cycle_nodes.reverse()
+    return [ddg.ops[v] for v in cycle_nodes]
 
 
 # ----------------------------------------------------------------------
@@ -209,16 +531,49 @@ def longest_path_heights(ddg: DDG, ii: int = 0) -> dict[int, int]:
     """Height-based scheduling priority (Rau's HeightR).
 
     ``height(op) = max(0, max over successors (height(succ) + delay
-    - ii * distance))``, computed as a fixpoint; with ``ii`` at least
-    RecII there are no positive cycles, so the iteration converges in at
-    most |V| rounds.  With ``ii = 0`` and loop-carried edges present the
-    fixpoint may not exist; callers pass the candidate II (or use the
-    distance-0 subgraph via ``ii`` large enough, which zeroes carried
-    contributions naturally).
+    - ii * distance))``; with ``ii`` at least RecII there are no positive
+    cycles, so the least fixpoint exists and is unique.  Computed by
+    sweeping nodes in reverse topological order of the distance-0 DAG:
+    one sweep finalizes every same-iteration chain, and only loop-carried
+    edges still positive at this II force bounded fixup sweeps (at most
+    |V| + 1, after which a positive cycle is reported).  With ``ii = 0``
+    and loop-carried edges present the fixpoint may not exist; callers
+    pass the candidate II.
     """
     height = {op.op_id: 0 for op in ddg.ops}
+    if len(ddg) == 0 or ddg.n_edges == 0:
+        return height
+    idx = _index(ddg)
+    if idx.rev_topo0 is None:  # distance-0 cycle (malformed body)
+        return _reference_longest_path_heights(ddg, ii)
+    dst, out_edges = idx.dst, idx.out_edges
+    ew = [idx.delay[k] - ii * idx.dist[k] for k in range(idx.m)]
+    h = [0] * idx.n
+    order = idx.rev_topo0
+    for _ in range(idx.n + 1):
+        changed = False
+        for u in order:
+            hu = h[u]
+            for k in out_edges[u]:
+                cand = h[dst[k]] + ew[k]
+                if cand > hu:
+                    hu = cand
+            if hu > h[u]:
+                h[u] = hu
+                changed = True
+        if not changed:
+            for v, oid in enumerate(idx.op_ids):
+                height[oid] = h[v]
+            return height
+    raise ValueError(f"heights diverge at ii={ii}: positive cycle present")
+
+
+def _reference_longest_path_heights(ddg: DDG, ii: int = 0) -> dict[int, int]:
+    """Arbitrary-order fixpoint iteration (kept for golden-equivalence
+    tests and as the fallback for distance-0-cyclic graphs)."""
+    height = {op.op_id: 0 for op in ddg.ops}
     edges = list(ddg.edges())
-    for round_no in range(len(ddg.ops) + 1):
+    for _round_no in range(len(ddg.ops) + 1):
         changed = False
         for e in edges:
             cand = height[e.dst.op_id] + e.delay - ii * e.distance

@@ -25,6 +25,9 @@ class DDG:
     _preds: dict[int, list[Dependence]] = field(default_factory=dict)
     _index: dict[int, int] = field(default_factory=dict)
     _edge_keys: set[tuple[int, int, DepKind, int]] = field(default_factory=set)
+    #: bumped on every mutation; lets analyses cache derived structures
+    #: (edge arrays, SCC condensation) keyed by (id(ddg), version)
+    _version: int = 0
 
     def __post_init__(self) -> None:
         self._index = {op.op_id: i for i, op in enumerate(self.ops)}
@@ -65,12 +68,14 @@ class DDG:
                             if e is existing:
                                 preds[j] = dep
                                 break
+                        self._version += 1
                         return dep
                     return None
             return None
         self._edge_keys.add(key)
         self._succs[dep.src.op_id].append(dep)
         self._preds[dep.dst.op_id].append(dep)
+        self._version += 1
         return dep
 
     def successors(self, op: Operation) -> list[Dependence]:

@@ -94,6 +94,10 @@ class Loop:
     live_in: set[SymbolicRegister] = field(default_factory=set)
     live_out: set[SymbolicRegister] = field(default_factory=set)
     trip_count_hint: int = 8
+    #: content-hash memo owned by :func:`repro.core.cache.loop_fingerprint`.
+    #: Sound because every rewriting pass (copy insertion, spilling) builds
+    #: a *new* Loop from cloned operations rather than mutating this one.
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     @property
     def ops(self) -> list[Operation]:

@@ -11,7 +11,7 @@ and the dependence builder key on.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterator, Union
 
 from repro.ir.registers import SymbolicRegister
@@ -101,11 +101,11 @@ class Opcode(enum.Enum):
 
     @property
     def info(self) -> OpcodeInfo:
-        return OPCODE_INFO[self]
+        return self._info
 
     @property
     def opclass(self) -> OpClass:
-        return OPCODE_INFO[self].opclass
+        return self._info.opclass
 
 
 OPCODE_INFO: dict[Opcode, OpcodeInfo] = {
@@ -142,6 +142,14 @@ OPCODE_INFO: dict[Opcode, OpcodeInfo] = {
 }
 
 
+# Stash each opcode's info on the enum member itself: scheduling inner
+# loops hit ``op.opcode.info`` millions of times, and attribute access
+# skips Enum.__hash__ (a Python-level call) on every lookup.
+for _opcode, _opcode_info in OPCODE_INFO.items():
+    _opcode._info = _opcode_info
+del _opcode, _opcode_info
+
+
 _next_op_id = 0
 
 
@@ -175,7 +183,7 @@ class Operation:
     cluster: int | None = None
 
     def __post_init__(self) -> None:
-        info = self.opcode.info
+        info = self.opcode._info
         if info.has_dest and self.dest is None:
             raise ValueError(f"{self.opcode.value} requires a destination register")
         if not info.has_dest and self.dest is not None:
@@ -190,19 +198,19 @@ class Operation:
     # ------------------------------------------------------------------
     @property
     def opclass(self) -> OpClass:
-        return self.opcode.opclass
+        return self.opcode._info.opclass
 
     @property
     def is_copy(self) -> bool:
-        return self.opcode.info.is_copy
+        return self.opcode._info.is_copy
 
     @property
     def reads_mem(self) -> bool:
-        return self.opcode.info.reads_mem
+        return self.opcode._info.reads_mem
 
     @property
     def writes_mem(self) -> bool:
-        return self.opcode.info.writes_mem
+        return self.opcode._info.writes_mem
 
     def defined(self) -> tuple[SymbolicRegister, ...]:
         """The *Defined* set from Section 5: registers this op writes."""
@@ -219,11 +227,23 @@ class Operation:
 
     def with_sources(self, sources: tuple[Operand, ...]) -> "Operation":
         """A copy of this op with substituted sources and a fresh identity."""
-        return replace(self, sources=sources, op_id=_fresh_op_id())
+        return Operation(
+            opcode=self.opcode,
+            dest=self.dest,
+            sources=sources,
+            mem=self.mem,
+            cluster=self.cluster,
+        )
 
     def clone(self) -> "Operation":
         """A structural copy with a fresh ``op_id``."""
-        return replace(self, op_id=_fresh_op_id())
+        return Operation(
+            opcode=self.opcode,
+            dest=self.dest,
+            sources=self.sources,
+            mem=self.mem,
+            cluster=self.cluster,
+        )
 
     def __hash__(self) -> int:
         return hash(self.op_id)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping
 
-from repro.ir.operations import OpClass, Operation
+from repro.ir.operations import OPCODE_INFO, OpClass, Operation
 
 
 _PAPER_TABLE: Mapping[OpClass, int] = MappingProxyType(
@@ -54,12 +54,20 @@ class LatencyTable:
         for cls, lat in self.table.items():
             if lat < 1:
                 raise ValueError(f"latency for {cls.value} must be >= 1, got {lat}")
+        # ``of`` sits on the DDG-build and scheduling hot paths; a
+        # string-keyed mirror (opcode value -> latency) turns each lookup
+        # into one C-level dict probe instead of two Enum.__hash__ calls.
+        object.__setattr__(
+            self,
+            "_by_opcode",
+            {opc.value: self.table[info.opclass] for opc, info in OPCODE_INFO.items()},
+        )
 
     def of_class(self, opclass: OpClass) -> int:
         return self.table[opclass]
 
     def of(self, op: Operation) -> int:
-        return self.table[op.opclass]
+        return self._by_opcode[op.opcode.value]
 
     def replaced(self, **overrides: int) -> "LatencyTable":
         """A copy with classes (named by their ``value``) overridden."""

@@ -133,7 +133,7 @@ class ModuloScheduler:
                 slot = estart if prev is None or prev + 1 < estart else prev + 1
 
             if forced:
-                for victim_id in mrt.conflicting_ops(op, slot, times):
+                for victim_id in mrt.conflicting_ops(op, slot):
                     mrt.remove(by_id[victim_id])
                     del times[victim_id]
                     push(heap, by_id[victim_id])

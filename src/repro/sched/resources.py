@@ -31,23 +31,43 @@ class ResourceDemand:
     bus: bool = False                 # one machine-wide bus
 
 
+# Interned demand values: only ~2 x n_clusters distinct demands exist, and
+# constructing a frozen dataclass per call dominated this function's cost.
+# ResourceDemand is immutable and compared by field, so sharing is safe.
+_FU_DEMANDS: dict[int, ResourceDemand] = {}
+_COPY_DEMANDS: dict[int, ResourceDemand] = {}
+
+
 def op_resource_demand(op: Operation, machine: MachineDescription) -> ResourceDemand:
     """Map an operation to its issue-cycle resource demand."""
     cluster = op.cluster if op.cluster is not None else 0
     machine.validate_cluster(cluster if machine.is_clustered else None)
     if op.is_copy and machine.copy_model is CopyModel.COPY_UNIT:
-        return ResourceDemand(copy_cluster=cluster, bus=True)
-    return ResourceDemand(fu_cluster=cluster)
+        demand = _COPY_DEMANDS.get(cluster)
+        if demand is None:
+            demand = _COPY_DEMANDS[cluster] = ResourceDemand(
+                copy_cluster=cluster, bus=True
+            )
+        return demand
+    demand = _FU_DEMANDS.get(cluster)
+    if demand is None:
+        demand = _FU_DEMANDS[cluster] = ResourceDemand(fu_cluster=cluster)
+    return demand
 
 
 @dataclass
 class SlotPool:
-    """Free-slot counters for a single cycle."""
+    """Free-slot counters for a single cycle.
+
+    ``bus_free`` defaults to ``None`` (= take the machine's bus count) so
+    that an explicitly-passed exhausted bus count of ``0`` is honored
+    rather than silently reset.
+    """
 
     machine: MachineDescription
     fu_free: list[int] = field(default_factory=list)
     copy_free: list[int] = field(default_factory=list)
-    bus_free: int = 0
+    bus_free: int | None = None
 
     def __post_init__(self) -> None:
         if not self.fu_free:
@@ -59,7 +79,7 @@ class SlotPool:
                 else 0
             )
             self.copy_free = [ports] * self.machine.n_clusters
-        if self.bus_free == 0:
+        if self.bus_free is None:
             self.bus_free = self.machine.n_buses
 
     def fits(self, demand: ResourceDemand) -> bool:
@@ -97,19 +117,27 @@ class ReservationTable:
     machine: MachineDescription
     rows: list[SlotPool] = field(default_factory=list)
     _placed: dict[int, tuple[int, ResourceDemand]] = field(default_factory=dict)
+    #: per-op demand memo — ``fits`` probes many cycles for the same op
+    _demands: dict[int, ResourceDemand] = field(default_factory=dict)
 
     def _row(self, cycle: int) -> SlotPool:
         while len(self.rows) <= cycle:
             self.rows.append(SlotPool(self.machine))
         return self.rows[cycle]
 
+    def _demand(self, op: Operation) -> ResourceDemand:
+        demand = self._demands.get(op.op_id)
+        if demand is None:
+            demand = self._demands[op.op_id] = op_resource_demand(op, self.machine)
+        return demand
+
     def fits(self, op: Operation, cycle: int) -> bool:
-        return self._row(cycle).fits(op_resource_demand(op, self.machine))
+        return self._row(cycle).fits(self._demand(op))
 
     def place(self, op: Operation, cycle: int) -> None:
         if op.op_id in self._placed:
             raise ValueError(f"operation already placed: {op!r}")
-        demand = op_resource_demand(op, self.machine)
+        demand = self._demand(op)
         self._row(cycle).take(demand)
         self._placed[op.op_id] = (cycle, demand)
 
@@ -135,29 +163,45 @@ class ModuloReservationTable:
     ii: int
     rows: list[SlotPool] = field(init=False)
     _placed: dict[int, tuple[int, ResourceDemand]] = field(default_factory=dict)
+    #: per-row op_id -> demand occupancy index; insertion order mirrors
+    #: placement order, so eviction-candidate order matches a linear scan
+    #: of ``_placed``
+    _row_ops: list[dict[int, ResourceDemand]] = field(init=False)
+    #: per-op demand memo — the scheduler probes ``fits`` across a whole
+    #: ``[estart, estart + II)`` window for the same op
+    _demands: dict[int, ResourceDemand] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.ii < 1:
             raise ValueError("II must be positive")
         self.rows = [SlotPool(self.machine) for _ in range(self.ii)]
+        self._row_ops = [{} for _ in range(self.ii)]
 
     def row_of(self, time: int) -> SlotPool:
         return self.rows[time % self.ii]
 
+    def _demand(self, op: Operation) -> ResourceDemand:
+        demand = self._demands.get(op.op_id)
+        if demand is None:
+            demand = self._demands[op.op_id] = op_resource_demand(op, self.machine)
+        return demand
+
     def fits(self, op: Operation, time: int) -> bool:
-        return self.row_of(time).fits(op_resource_demand(op, self.machine))
+        return self.rows[time % self.ii].fits(self._demand(op))
 
     def place(self, op: Operation, time: int) -> None:
         if op.op_id in self._placed:
             raise ValueError(f"operation already placed: {op!r}")
-        demand = op_resource_demand(op, self.machine)
-        self.row_of(time).take(demand)
+        demand = self._demand(op)
+        self.rows[time % self.ii].take(demand)
         self._placed[op.op_id] = (time, demand)
+        self._row_ops[time % self.ii][op.op_id] = demand
 
     def remove(self, op: Operation) -> int:
         """Unplace ``op``; returns the time it had been scheduled at."""
         time, demand = self._placed.pop(op.op_id)
         self.row_of(time).release(demand)
+        del self._row_ops[time % self.ii][op.op_id]
         return time
 
     def is_placed(self, op: Operation) -> bool:
@@ -166,15 +210,13 @@ class ModuloReservationTable:
     def time_of(self, op: Operation) -> int:
         return self._placed[op.op_id][0]
 
-    def conflicting_ops(self, op: Operation, time: int, placed_times: dict[int, int]) -> list[int]:
+    def conflicting_ops(self, op: Operation, time: int) -> list[int]:
         """Op-ids currently occupying the resource ``op`` needs in row
-        ``time mod II`` — candidates for eviction when placement is forced."""
-        demand = op_resource_demand(op, self.machine)
-        row = time % self.ii
+        ``time mod II`` — candidates for eviction when placement is forced.
+        O(row occupancy) via the per-row index, not O(all placed)."""
+        demand = self._demand(op)
         out: list[int] = []
-        for oid, (t, d) in self._placed.items():
-            if t % self.ii != row:
-                continue
+        for oid, d in self._row_ops[time % self.ii].items():
             same_fu = (
                 demand.fu_cluster is not None and d.fu_cluster == demand.fu_cluster
             )

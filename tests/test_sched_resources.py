@@ -135,7 +135,7 @@ class TestModuloReservationTable:
         mrt.place(b, 2)  # same row as a
         mrt.place(c, 0)
         newcomer = make_alu(cluster=3)
-        conflicts = mrt.conflicting_ops(newcomer, 4, {})
+        conflicts = mrt.conflicting_ops(newcomer, 4)
         assert set(conflicts) == {a.op_id, b.op_id}
 
     def test_bad_ii_rejected(self):
