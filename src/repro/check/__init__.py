@@ -1,0 +1,48 @@
+"""Cross-stage differential checking (``repro check``).
+
+The paper's claims rest on every stage agreeing with every other —
+scheduler, pipeline expansion, copy insertion, register assignment and
+the cycle-accurate simulator.  This package validates that agreement the
+way the combinatorial-methods literature validates heuristic compilers:
+against independent oracles.
+
+* :mod:`repro.check.oracles` — the oracle library: semantic equivalence
+  (reference interpreter vs. ideal vs. partitioned pipelined execution),
+  pipeline-expansion phase invariants, integer-exact rotating-allocation
+  re-verification, partition/copy consistency and independent schedule
+  re-validation.
+* :mod:`repro.check.shrink` — a greedy shrinker that minimizes any
+  failing loop (drop operations, shrink trip counts) to a committed
+  reproducer.
+* :mod:`repro.check.fuzz` — the seeded corpus fuzzer behind the
+  ``repro check`` CLI; failures surface as first-class
+  :class:`~repro.core.results.LoopFailure` cells of kind ``oracle``.
+"""
+
+from repro.check.oracles import (
+    ORACLES,
+    CheckSubject,
+    OracleViolation,
+    register_oracle,
+    run_oracles,
+    subject_from_context,
+    subject_from_result,
+)
+from repro.check.shrink import ShrinkResult, render_reproducer, shrink_loop
+from repro.check.fuzz import FuzzFailure, FuzzReport, fuzz_corpus
+
+__all__ = [
+    "ORACLES",
+    "CheckSubject",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleViolation",
+    "ShrinkResult",
+    "fuzz_corpus",
+    "register_oracle",
+    "render_reproducer",
+    "run_oracles",
+    "shrink_loop",
+    "subject_from_context",
+    "subject_from_result",
+]

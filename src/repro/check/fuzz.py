@@ -1,0 +1,218 @@
+"""Seeded corpus fuzzing for the cross-stage oracles.
+
+``fuzz_corpus`` drives the full pipeline over a deterministic seeded
+corpus (the frozen named kernels first, then synthetic loops from the
+given seed — the same recipe as the evaluation corpus), runs every
+oracle on each (loop, configuration) cell, and minimizes each failing
+loop to a committed reproducer.  Failures surface as first-class
+:class:`~repro.core.results.LoopFailure` cells of kind ``oracle`` (or
+``exception`` when the pipeline itself raised), so the evaluation
+report's failure table renders them like any other fault.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.check.oracles import (
+    ORACLES,
+    OracleViolation,
+    run_oracles,
+    subject_from_result,
+)
+from repro.check.shrink import render_reproducer, shrink_loop
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.core.results import LoopFailure
+from repro.evalx.runner import config_label
+from repro.ir.block import Loop
+from repro.machine.machine import CopyModel, MachineDescription
+from repro.machine.presets import paper_machine
+from repro.workloads.corpus import spec95_corpus
+
+#: default fuzzing configurations: one embedded and one copy-unit
+#: machine at different cluster counts exercises both copy models, the
+#: partitioner, copy insertion and the clustered reschedule without
+#: paying for the full six-column paper matrix on every fuzz cell.
+FUZZ_CONFIG_ORDER: tuple[tuple[int, CopyModel], ...] = (
+    (2, CopyModel.EMBEDDED),
+    (4, CopyModel.COPY_UNIT),
+)
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing (loop, configuration) cell, minimized."""
+
+    failure: LoopFailure           # first-class runner-compatible record
+    oracle: str                    # violated oracle ("pipeline" for raises)
+    detail: str
+    reproducer: str | None = None  # committed reproducer text (shrunk loop)
+    shrunk_ops: int | None = None
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzzing run produced."""
+
+    n_loops: int
+    n_cells: int
+    seed: int
+    elapsed_seconds: float = 0.0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    oracle_names: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [
+            f"repro check: {self.n_cells} cells "
+            f"({self.n_loops} loops, seed {self.seed}) in "
+            f"{self.elapsed_seconds:.1f}s — "
+            f"oracles: {', '.join(self.oracle_names)}"
+        ]
+        if not self.failures:
+            lines.append("all oracles clean")
+            return "\n".join(lines)
+        lines.append(f"FAILURES ({len(self.failures)}):")
+        for f in self.failures:
+            lines.append(
+                f"  [{f.failure.kind}] {f.failure.loop_name} on "
+                f"{f.failure.config}: {f.oracle}: {f.detail.splitlines()[0]}"
+            )
+            if f.reproducer is not None:
+                lines.append(f"    shrunk to {f.shrunk_ops} ops:")
+                for ln in f.reproducer.splitlines():
+                    lines.append(f"    | {ln}")
+        return "\n".join(lines)
+
+
+def _check_cell(
+    loop: Loop,
+    machine: MachineDescription,
+    pipeline_config: PipelineConfig,
+    trip_counts: tuple[int, ...],
+) -> list[OracleViolation]:
+    result = compile_loop(loop, machine, pipeline_config)
+    return run_oracles(subject_from_result(result, trip_counts=trip_counts))
+
+
+def _reproduces(
+    loop: Loop,
+    machine: MachineDescription,
+    pipeline_config: PipelineConfig,
+    trip_counts: tuple[int, ...],
+    oracle: str,
+) -> bool:
+    """Shrinker predicate: does the same oracle still fail on this loop?"""
+    try:
+        violations = _check_cell(loop, machine, pipeline_config, trip_counts)
+    except Exception:
+        return False  # failing differently is a different bug
+    return any(v.oracle == oracle for v in violations)
+
+
+def fuzz_corpus(
+    n_loops: int = 25,
+    seed: int = 2026,
+    configs: tuple[tuple[int, CopyModel], ...] = FUZZ_CONFIG_ORDER,
+    pipeline_config: PipelineConfig | None = None,
+    trip_counts: tuple[int, ...] = (),
+    shrink: bool = True,
+    max_shrink_attempts: int = 200,
+    progress: bool = False,
+) -> FuzzReport:
+    """Fuzz ``n_loops`` seeded loops across ``configs``; see module docs.
+
+    Deterministic: the same ``(n_loops, seed, configs)`` triple always
+    exercises the same cells, so any reported failure reproduces with
+    ``repro check --fuzz N --seed S``.
+    """
+    config = pipeline_config if pipeline_config is not None else PipelineConfig()
+    loops = spec95_corpus(n=n_loops, seed=seed)
+    machines = {config_label(n, m): paper_machine(n, m) for n, m in configs}
+    report = FuzzReport(
+        n_loops=len(loops),
+        n_cells=len(loops) * len(machines),
+        seed=seed,
+        oracle_names=tuple(ORACLES),
+    )
+
+    t0 = time.time()
+    done = 0
+    for label, machine in machines.items():
+        for loop in loops:
+            done += 1
+            if progress and done % 25 == 0:
+                print(f"  repro check: {done}/{report.n_cells} cells",
+                      file=sys.stderr)
+            try:
+                violations = _check_cell(loop, machine, config, trip_counts)
+            except Exception as exc:
+                report.failures.append(
+                    FuzzFailure(
+                        failure=LoopFailure(
+                            config=label,
+                            loop_name=loop.name,
+                            error=repr(exc),
+                            kind="exception",
+                        ),
+                        oracle="pipeline",
+                        detail=repr(exc),
+                    )
+                )
+                continue
+            for v in violations:
+                report.failures.append(
+                    _minimized_failure(
+                        loop, label, machine, config, trip_counts, v,
+                        seed, shrink, max_shrink_attempts,
+                    )
+                )
+    report.elapsed_seconds = time.time() - t0
+    return report
+
+
+def _minimized_failure(
+    loop: Loop,
+    label: str,
+    machine: MachineDescription,
+    pipeline_config: PipelineConfig,
+    trip_counts: tuple[int, ...],
+    violation: OracleViolation,
+    seed: int,
+    shrink: bool,
+    max_shrink_attempts: int,
+) -> FuzzFailure:
+    reproducer = None
+    shrunk_ops = None
+    if shrink:
+        try:
+            shrunk = shrink_loop(
+                loop,
+                lambda cand: _reproduces(
+                    cand, machine, pipeline_config, trip_counts, violation.oracle
+                ),
+                max_attempts=max_shrink_attempts,
+            )
+            reproducer = render_reproducer(
+                shrunk, violation.oracle, violation.detail, label, seed=seed
+            )
+            shrunk_ops = shrunk.final_ops
+        except Exception:
+            pass  # an unminimized failure is still a failure
+    return FuzzFailure(
+        failure=LoopFailure(
+            config=label,
+            loop_name=loop.name,
+            error=str(violation),
+            kind="oracle",
+        ),
+        oracle=violation.oracle,
+        detail=violation.detail,
+        reproducer=reproducer,
+        shrunk_ops=shrunk_ops,
+    )

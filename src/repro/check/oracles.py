@@ -1,0 +1,418 @@
+"""Cross-stage oracles.
+
+Each oracle is an independent judge of one inter-stage contract.  They
+deliberately avoid reusing the code path under test: the phase oracle
+rederives steady state from the issue slots, the rotating oracle re-walks
+physical occupancy cycle by cycle, the copy oracle recounts communication
+demand on the *source* loop, and the semantic oracle compares three
+executions that share nothing but the seeded input values.
+
+An oracle is a callable ``(CheckSubject) -> None`` that raises
+:class:`OracleViolation` on disagreement; the registry mirrors the
+partitioner registry in :mod:`repro.core.passes`, so project-specific
+oracles can be registered at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.copies import PartitionedLoop, count_cross_bank_reads
+from repro.core.greedy import Partition
+from repro.ddg.graph import DDG
+from repro.ir.block import Loop
+from repro.machine.machine import MachineDescription
+from repro.machine.presets import ideal_machine
+from repro.sched.modulo.kernel import PipelineExpansion, expand_pipeline
+from repro.sched.schedule import KernelSchedule
+from repro.sched.validate import ScheduleValidationError, validate_kernel_schedule
+
+
+class OracleViolation(AssertionError):
+    """One oracle's verdict: two stages disagree.
+
+    ``oracle`` names the judge, ``detail`` the disagreement; both are
+    preserved when the violation crosses the shrinker or the evaluation
+    runner (as a ``LoopFailure`` of kind ``oracle``).
+    """
+
+    def __init__(self, oracle: str, detail: str):
+        super().__init__(f"[{oracle}] {detail}")
+        self.oracle = oracle
+        self.detail = detail
+
+
+@dataclass
+class CheckSubject:
+    """Everything the oracles examine about one compiled loop.
+
+    Built from a :class:`~repro.core.pipeline.CompilationResult` or a
+    :class:`~repro.core.context.CompilationContext`; the fields mirror
+    the pipeline's artifacts so every oracle can cross-examine any pair
+    of stages.
+    """
+
+    loop: Loop
+    machine: MachineDescription
+    ideal: KernelSchedule
+    ddg: DDG
+    partition: Partition
+    partitioned: PartitionedLoop
+    kernel: KernelSchedule
+    partitioned_ddg: DDG
+    #: the pre-copy loop the partition describes (differs from ``loop``
+    #: only after spill rounds rewrote the body through memory)
+    precopy_loop: Loop | None = None
+    #: trip counts the trip-sensitive oracles sweep; always includes a
+    #: short trip (< stage count) so fill/drain-only pipelines are covered
+    trip_counts: tuple[int, ...] = ()
+
+    def resolved_trip_counts(self, kernel: KernelSchedule) -> tuple[int, ...]:
+        if self.trip_counts:
+            return self.trip_counts
+        stages = kernel.stage_count
+        trips = {1, max(1, stages - 1), stages + 2, 2 * stages + 3}
+        return tuple(sorted(trips))
+
+
+def subject_from_result(result, trip_counts: tuple[int, ...] = ()) -> CheckSubject:
+    """Build a subject from a :class:`~repro.core.pipeline.CompilationResult`."""
+    return CheckSubject(
+        loop=result.loop,
+        machine=result.machine,
+        ideal=result.ideal,
+        ddg=result.ddg,
+        partition=result.partition,
+        partitioned=result.partitioned,
+        kernel=result.kernel,
+        partitioned_ddg=result.partitioned_ddg,
+        precopy_loop=result.precopy_loop,
+        trip_counts=trip_counts,
+    )
+
+
+def subject_from_context(ctx, trip_counts: tuple[int, ...] = ()) -> CheckSubject:
+    """Build a subject from a live :class:`CompilationContext` (used by
+    the opt-in ``--check`` pipeline pass)."""
+    return CheckSubject(
+        loop=ctx.loop,
+        machine=ctx.machine,
+        ideal=ctx.ideal,
+        ddg=ctx.ddg,
+        partition=ctx.current_partition,
+        partitioned=ctx.partitioned,
+        kernel=ctx.kernel,
+        partitioned_ddg=ctx.partitioned_ddg,
+        precopy_loop=ctx.current_loop,
+        trip_counts=trip_counts,
+    )
+
+
+#: name -> oracle.  ``run_oracles`` walks this in insertion order.
+ORACLES: dict[str, Callable[[CheckSubject], None]] = {}
+
+
+def register_oracle(name: str):
+    """Register an oracle under ``name`` (same idiom as the partitioner
+    registry); the decorated callable receives a :class:`CheckSubject`
+    and raises :class:`OracleViolation` on disagreement."""
+
+    def decorator(fn: Callable[[CheckSubject], None]):
+        ORACLES[name] = fn
+        return fn
+
+    return decorator
+
+
+def run_oracles(
+    subject: CheckSubject, only: tuple[str, ...] | None = None
+) -> list[OracleViolation]:
+    """Run every registered oracle (or the named subset) and collect the
+    violations instead of stopping at the first: a fuzz report that shows
+    all disagreeing stage pairs localizes a bug much faster than one."""
+    violations: list[OracleViolation] = []
+    for name, oracle in ORACLES.items():
+        if only is not None and name not in only:
+            continue
+        try:
+            oracle(subject)
+        except OracleViolation as v:
+            violations.append(v)
+        except Exception as exc:  # an oracle crashing is itself a finding
+            violations.append(
+                OracleViolation(name, f"oracle crashed: {exc!r}")
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Oracle 1: semantic equivalence
+# ----------------------------------------------------------------------
+
+
+@register_oracle("semantic_equivalence")
+def check_semantic_equivalence(subject: CheckSubject) -> None:
+    """Reference interpreter vs. ideal pipeline vs. partitioned pipeline.
+
+    All three executions consume the same seeded inputs; final memory and
+    live-out register state must agree at every swept trip count.  The
+    partitioned loop is additionally run *sequentially* so copy insertion
+    is judged at the language level, independent of scheduling.
+    """
+    from repro.sim.equivalence import (
+        EquivalenceError,
+        check_kernel_against_reference,
+        check_loop_equivalence,
+    )
+    from repro.sim.vliw import TimingViolation
+
+    name = "semantic_equivalence"
+    for trips in subject.resolved_trip_counts(subject.kernel):
+        try:
+            check_kernel_against_reference(
+                subject.loop, subject.ideal, subject.ddg, trips, label="ideal"
+            )
+            check_loop_equivalence(
+                subject.loop,
+                subject.partitioned,
+                subject.kernel,
+                subject.partitioned_ddg,
+                subject.machine,
+                trip_count=trips,
+            )
+        except (EquivalenceError, TimingViolation) as exc:
+            raise OracleViolation(name, f"trip={trips}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Oracle 2: pipeline-expansion phase invariants
+# ----------------------------------------------------------------------
+
+
+def _check_expansion_phases(
+    name: str, exp: PipelineExpansion, kernel: KernelSchedule, trips: int
+) -> None:
+    ii = kernel.ii
+    stages = kernel.stage_count
+    total = exp.total_cycles
+
+    if not 0 <= exp.prelude_end <= exp.postlude_start <= total:
+        raise OracleViolation(
+            name,
+            f"trip={trips}: phases do not partition [0, {total}): "
+            f"prelude_end={exp.prelude_end} postlude_start={exp.postlude_start}",
+        )
+    if trips < stages and exp.prelude_end != exp.postlude_start:
+        raise OracleViolation(
+            name,
+            f"trip={trips} < stages={stages} but kernel phase is non-empty "
+            f"([{exp.prelude_end}, {exp.postlude_start}))",
+        )
+
+    # Definitional steady state: a new iteration enters every II and all
+    # stages are occupied, i.e. cycles c with stages-1 <= c // II < trips.
+    # Derived from slot data only — independent of expand_pipeline's
+    # closed-form bookkeeping.
+    by_cycle: dict[int, list] = {}
+    for slot in exp.slots:
+        by_cycle.setdefault(slot.cycle, []).append(slot)
+    rows = [sorted(op.op_id for op in row) for row in kernel.kernel_rows()]
+
+    for cycle in range(total):
+        phase = exp.phase_of(cycle)
+        window = cycle // ii
+        steady = stages - 1 <= window < trips
+        if steady and phase != "kernel":
+            raise OracleViolation(
+                name,
+                f"trip={trips}: cycle {cycle} is steady state (window "
+                f"{window}, stages={stages}) but labeled {phase!r}",
+            )
+        if not steady and phase == "kernel":
+            raise OracleViolation(
+                name,
+                f"trip={trips}: cycle {cycle} labeled kernel but window "
+                f"{window} is outside steady state "
+                f"(stages={stages}, trips={trips})",
+            )
+        issued = by_cycle.get(cycle, [])
+        for slot in issued:
+            t_op = kernel.time_of(slot.op)
+            if slot.cycle != slot.iteration * ii + t_op or not (
+                0 <= slot.iteration < trips
+            ):
+                raise OracleViolation(
+                    name,
+                    f"trip={trips}: slot {slot!r} inconsistent with "
+                    f"iteration*II + t(op) (t={t_op})",
+                )
+        if phase == "kernel":
+            # steady-state cycles issue exactly the kernel row c mod II
+            got = sorted(s.op.op_id for s in issued)
+            if got != rows[cycle % ii]:
+                raise OracleViolation(
+                    name,
+                    f"trip={trips}: kernel-phase cycle {cycle} issues ops "
+                    f"{got} but kernel row {cycle % ii} is {rows[cycle % ii]}",
+                )
+        if phase == "postlude":
+            # the drain starts no new iteration: no stage-0 issue slots
+            starters = [s for s in issued if kernel.stage_of(s.op) == 0]
+            if starters:
+                raise OracleViolation(
+                    name,
+                    f"trip={trips}: postlude cycle {cycle} issues stage-0 "
+                    f"ops {starters!r}",
+                )
+
+
+@register_oracle("phase_partition")
+def check_phase_partition(subject: CheckSubject) -> None:
+    """Prelude/kernel/postlude must partition ``[0, total_cycles)`` with
+    every slot's phase consistent with its iteration and stage, for both
+    the ideal and the partitioned kernels, across the trip-count sweep."""
+    name = "phase_partition"
+    for label, kernel in (("ideal", subject.ideal), ("partitioned", subject.kernel)):
+        for trips in subject.resolved_trip_counts(kernel):
+            exp = expand_pipeline(kernel, trips)
+            try:
+                _check_expansion_phases(name, exp, kernel, trips)
+            except OracleViolation as v:
+                raise OracleViolation(name, f"{label} kernel: {v.detail}") from v
+
+
+# ----------------------------------------------------------------------
+# Oracle 3: rotating allocation, integer-exact and symmetric
+# ----------------------------------------------------------------------
+
+
+@register_oracle("rotating_allocation")
+def check_rotating_allocation(subject: CheckSubject) -> None:
+    """Allocate the partitioned kernel onto a rotating file and re-verify
+    with two independent judges: the exhaustive cycle-by-cycle occupancy
+    walk, and an integer-exact *symmetric* re-evaluation of the pairwise
+    conflict relation against brute-force instance overlap."""
+    from repro.regalloc.liveness import cyclic_liveness
+    from repro.regalloc.rotating import _conflicts, allocate_rotating, verify_rotating
+
+    name = "rotating_allocation"
+    liveness = cyclic_liveness(subject.kernel, subject.partitioned_ddg)
+    try:
+        alloc = allocate_rotating(liveness)
+    except RuntimeError as exc:
+        raise OracleViolation(name, f"allocation failed: {exc}") from exc
+    try:
+        verify_rotating(alloc, liveness, trips=2 * subject.kernel.stage_count + 4)
+    except AssertionError as exc:
+        raise OracleViolation(name, str(exc)) from exc
+
+    ii, n = alloc.ii, alloc.n_rotating
+    placed = [
+        (lr, alloc.offsets[lr.reg.rid]) for lr in liveness if not lr.invariant
+    ]
+    for a, (u, o_u) in enumerate(placed):
+        for v, o_v in placed[a + 1:]:
+            claim_uv = _conflicts(u, o_u, v, o_v, ii, n)
+            claim_vu = _conflicts(v, o_v, u, o_u, ii, n)
+            truth = _brute_force_overlap(u, o_u, v, o_v, ii, n)
+            if claim_uv != claim_vu or claim_uv != truth:
+                raise OracleViolation(
+                    name,
+                    f"conflict relation disagrees for {u.reg} (o={o_u}) vs "
+                    f"{v.reg} (o={o_v}): forward={claim_uv} "
+                    f"backward={claim_vu} brute-force={truth}",
+                )
+
+
+def _brute_force_overlap(u, o_u: int, v, o_v: int, ii: int, n: int) -> bool:
+    """Ground truth for the algebraic conflict test: enumerate every
+    integer ``j`` whose instance pair could overlap (``j*ii`` inside the
+    open interval ``(D - L_v, D + L_u)``) and test the congruence
+    directly, with no closed-form shortcut to share a bug with."""
+    d = (o_u - o_v) % n
+    lo = u.start - v.start - v.lifetime   # j*ii must be strictly above
+    hi = u.start - v.start + u.lifetime   # ... and strictly below
+    for j in range(lo // ii, hi // ii + 2):
+        if j % n == d and lo < j * ii < hi:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Oracle 4: partition / copy consistency
+# ----------------------------------------------------------------------
+
+
+@register_oracle("copy_consistency")
+def check_copy_consistency(subject: CheckSubject) -> None:
+    """Copy insertion must materialize exactly the communication the
+    partition demands: ``count_cross_bank_reads`` on the source loop
+    equals inserted copies (body + preheader), every copy crosses banks,
+    and the rewritten loop has no remaining cross-bank read."""
+    name = "copy_consistency"
+    ploop = subject.partitioned
+    source = subject.precopy_loop if subject.precopy_loop is not None else subject.loop
+    demand = count_cross_bank_reads(source, subject.partition)
+    inserted = ploop.n_body_copies + ploop.n_preheader_copies
+    if demand != inserted:
+        raise OracleViolation(
+            name,
+            f"partition demands {demand} cross-bank reads but copy "
+            f"insertion materialized {inserted} copies "
+            f"({ploop.n_body_copies} body + {ploop.n_preheader_copies} "
+            f"preheader)",
+        )
+    part = ploop.partition
+    for cp in ploop.body_copies:
+        (src,) = cp.used()
+        if part.bank_of(cp.dest) == part.bank_of(src):
+            raise OracleViolation(
+                name, f"copy {cp!r} does not cross banks"
+            )
+    # after rewriting, only the copies themselves may read a remote bank
+    # (the remote read *is* the transfer they implement)
+    for op in ploop.loop.ops:
+        if op.is_copy:
+            continue
+        for src in op.used():
+            if part.bank_of(src) != op.cluster:
+                raise OracleViolation(
+                    name,
+                    f"non-copy op {op!r} on cluster {op.cluster} still "
+                    f"reads {src} from bank {part.bank_of(src)} after "
+                    f"copy insertion",
+                )
+
+
+# ----------------------------------------------------------------------
+# Oracle 5: independent schedule re-validation
+# ----------------------------------------------------------------------
+
+
+@register_oracle("schedule_validation")
+def check_schedules(subject: CheckSubject) -> None:
+    """Re-run the independent legality checker over both final schedules
+    (every dependence satisfied modulo the II, no resource
+    over-subscription, cluster sanity) — the pipeline validates after
+    every scheduling pass, and this oracle re-asserts it on the artifacts
+    that actually ship."""
+    name = "schedule_validation"
+    ideal_target = ideal_machine(
+        width=subject.machine.width, latencies=subject.machine.latencies
+    )
+    checks = (
+        ("ideal", subject.ideal, subject.ddg, ideal_target),
+        ("partitioned", subject.kernel, subject.partitioned_ddg, subject.machine),
+    )
+    for label, kernel, ddg, target in checks:
+        if kernel.machine.width != target.width:
+            raise OracleViolation(
+                name,
+                f"{label} kernel targets width {kernel.machine.width}, "
+                f"expected {target.width}",
+            )
+        try:
+            validate_kernel_schedule(kernel, ddg)
+        except ScheduleValidationError as exc:
+            raise OracleViolation(name, f"{label} kernel: {exc}") from exc

@@ -1,0 +1,180 @@
+"""Greedy reproducer minimization.
+
+A fuzz failure on a 40-operation synthetic loop is a bad bug report.  The
+shrinker reduces any failing loop to a committed reproducer: it
+repeatedly tries to (1) shrink the trip-count hint toward 1 and (2) drop
+single operations — rebuilding a well-formed loop each time (orphaned
+sources become live-ins, orphaned live-outs are dropped) — keeping every
+edit under which the caller's predicate still fails, until no single edit
+preserves the failure.
+
+The predicate receives a candidate :class:`Loop` and returns ``True``
+when the failure still reproduces.  Predicates must treat *any other*
+error as "does not reproduce": a candidate that fails differently is a
+different bug and would derail the minimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.block import BasicBlock, Loop
+from repro.ir.printer import format_loop
+from repro.ir.registers import SymbolicRegister
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    loop: Loop                 # the minimized reproducer
+    original_ops: int
+    trip_count: int
+    rounds: int
+    attempts: int              # candidate loops evaluated
+
+    @property
+    def final_ops(self) -> int:
+        return len(self.loop.ops)
+
+
+def drop_operation(loop: Loop, index: int) -> Loop | None:
+    """A structurally valid copy of ``loop`` without operation ``index``.
+
+    The dropped op's destination disappears; any remaining reader of it
+    now sees a live-in (the simulator seeds those deterministically, so
+    the candidate still executes).  Returns ``None`` when the result
+    would be empty.
+    """
+    kept = [op for i, op in enumerate(loop.ops) if i != index]
+    if not kept:
+        return None
+    new_ops = [op.clone() for op in kept]
+    defined = {op.dest.rid for op in new_ops if op.dest is not None}
+    used: dict[int, SymbolicRegister] = {}
+    for op in new_ops:
+        for src in op.used():
+            used[src.rid] = src
+    # orphaned sources become live-ins; live-ins nothing reads any more
+    # are dropped, as are live-outs whose definition was removed
+    live_in = {r for r in loop.live_in if r.rid in used}
+    for rid, reg in used.items():
+        if rid not in defined:
+            live_in.add(reg)
+    live_out = {r for r in loop.live_out if r.rid in defined}
+    return Loop(
+        name=loop.name,
+        body=BasicBlock(name=f"{loop.name}.body", ops=new_ops, depth=loop.depth),
+        depth=loop.depth,
+        factory=loop.factory,
+        live_in=live_in,
+        live_out=live_out,
+        trip_count_hint=loop.trip_count_hint,
+    )
+
+
+def with_trip_count(loop: Loop, trip_count: int) -> Loop:
+    """A copy of ``loop`` with a different trip-count hint."""
+    return Loop(
+        name=loop.name,
+        body=BasicBlock(
+            name=f"{loop.name}.body",
+            ops=[op.clone() for op in loop.ops],
+            depth=loop.depth,
+        ),
+        depth=loop.depth,
+        factory=loop.factory,
+        live_in=set(loop.live_in),
+        live_out=set(loop.live_out),
+        trip_count_hint=trip_count,
+    )
+
+
+def shrink_loop(
+    loop: Loop,
+    predicate: Callable[[Loop], bool],
+    max_attempts: int = 400,
+) -> ShrinkResult:
+    """Minimize ``loop`` while ``predicate`` keeps returning ``True``.
+
+    Greedy fixed point: each round sweeps trip-count halving and every
+    single-operation drop, restarting the sweep whenever an edit sticks.
+    ``max_attempts`` bounds predicate evaluations (compiles), since each
+    one runs the full pipeline plus oracles.
+    """
+    if not predicate(loop):
+        raise ValueError("shrink_loop called with a loop that does not reproduce")
+
+    attempts = 0
+    rounds = 0
+    current = loop
+
+    def try_candidate(candidate: Loop | None) -> bool:
+        nonlocal attempts, current
+        if candidate is None or attempts >= max_attempts:
+            return False
+        attempts += 1
+        try:
+            ok = predicate(candidate)
+        except Exception:
+            ok = False  # a differently-failing candidate is not a reproducer
+        if ok:
+            current = candidate
+        return ok
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        rounds += 1
+        # 1. shrink the trip count toward 1 (halving, then decrement)
+        while current.trip_count_hint > 1:
+            smaller = max(1, current.trip_count_hint // 2)
+            if smaller == current.trip_count_hint:
+                smaller -= 1
+            if not try_candidate(with_trip_count(current, smaller)):
+                break
+            progress = True
+        # 2. drop single operations, last-to-first so consumers go before
+        #    producers (dropping a consumer never orphans anything)
+        i = len(current.ops) - 1
+        while i >= 0 and attempts < max_attempts:
+            if try_candidate(drop_operation(current, i)):
+                progress = True
+                i = min(i, len(current.ops) - 1)
+            else:
+                i -= 1
+    return ShrinkResult(
+        loop=current,
+        original_ops=len(loop.ops),
+        trip_count=current.trip_count_hint,
+        rounds=rounds,
+        attempts=attempts,
+    )
+
+
+def render_reproducer(
+    result: ShrinkResult,
+    oracle: str,
+    detail: str,
+    config_label: str,
+    seed: int | None = None,
+) -> str:
+    """The committed reproducer: parseable IR plus a header that says
+    which oracle failed, on what configuration, and how to re-run it."""
+    lines = [
+        f"# repro check reproducer — oracle: {oracle}",
+        f"# config: {config_label}",
+    ]
+    if seed is not None:
+        lines.append(f"# corpus seed: {seed}")
+    lines.append(
+        f"# shrunk {result.original_ops} -> {result.final_ops} ops "
+        f"(trip={result.trip_count}, {result.attempts} attempts)"
+    )
+    for detail_line in detail.splitlines():
+        lines.append(f"# {detail_line}")
+    lines.append("# reproduce: repro compile <this file> --check")
+    lines.append(format_loop(result.loop))
+    lines.append("")
+    return "\n".join(lines)

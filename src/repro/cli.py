@@ -6,6 +6,7 @@
     python -m repro compile daxpy --clusters 4  # compile one loop, show artifacts
     python -m repro compile my_loop.ir --model copy_unit --sim
     python -m repro evaluate --quick 40         # Tables 1-2 + Figures 5-7
+    python -m repro check --fuzz 100 --seed 2026  # differential oracle fuzzing
     python -m repro tune --trials 10            # heuristic auto-tuning (Sec. 7)
 
 ``compile`` accepts either a named kernel (see ``kernels``) or a path to
@@ -67,6 +68,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         run_simulation=args.sim,
         run_regalloc=not args.no_regalloc,
+        run_check=args.check,
     )
     result = compile_loop(loop, machine, config)
     m = result.metrics
@@ -97,6 +99,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
               f"max pressure {m.max_bank_pressure}, spills {m.spilled_registers}")
     if args.sim:
         print("  simulator equivalence: PASSED")
+    if args.check:
+        print("  cross-stage oracles: PASSED")
     if args.emit:
         from repro.codegen import emit_assembly
 
@@ -142,7 +146,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         raise SystemExit("error: --quick requires a positive number of loops")
     n = args.quick if args.quick is not None else 211
     loops = spec95_corpus(n=n)
-    pipeline_config = PipelineConfig(run_regalloc=args.regalloc)
+    pipeline_config = PipelineConfig(run_regalloc=args.regalloc, run_check=args.check)
 
     checkpoint = None
     if args.checkpoint and args.resume:
@@ -207,6 +211,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"JSON written to {args.json}")
     # recorded failures must be visible in the exit status, not just the text
     return 1 if run.failures else 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.fuzz import fuzz_corpus
+
+    if args.fuzz <= 0:
+        raise SystemExit("error: --fuzz requires a positive number of loops")
+    report = fuzz_corpus(
+        n_loops=args.fuzz,
+        seed=args.seed,
+        shrink=not args.no_shrink,
+        progress=args.progress,
+    )
+    print(report.format())
+    if args.shrink_out and report.failures:
+        out_dir = pathlib.Path(args.shrink_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for i, failure in enumerate(report.failures):
+            if failure.reproducer is None:
+                continue
+            path = out_dir / f"repro_{failure.oracle}_{i:03d}.ir"
+            path.write_text(failure.reproducer, encoding="utf-8")
+            written += 1
+        print(f"{written} reproducer(s) written to {out_dir}/", file=sys.stderr)
+    return 1 if report.failures else 0
 
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
@@ -276,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--unroll", type=int, default=1, metavar="U",
                    help="unroll the loop U times before compiling")
     c.add_argument("--sim", action="store_true", help="validate via simulation")
+    c.add_argument("--check", action="store_true",
+                   help="run the cross-stage differential oracles on the "
+                        "compiled artifacts (repro.check)")
     c.add_argument("--no-regalloc", action="store_true")
     c.add_argument(
         "--emit",
@@ -295,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("evaluate", help="regenerate Tables 1-2 and Figures 5-7")
     e.add_argument("--quick", type=int, metavar="N", help="use only N loops")
     e.add_argument("--regalloc", action="store_true")
+    e.add_argument("--check", action="store_true",
+                   help="run the cross-stage oracles on every cell; "
+                        "violations become 'oracle' failures in the report")
     e.add_argument("--progress", action="store_true")
     e.add_argument("--csv", metavar="PATH", help="write per-loop metrics CSV")
     e.add_argument("--json", metavar="PATH", help="write aggregate + per-loop JSON")
@@ -318,6 +354,22 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--profile-out", metavar="PATH",
                    help="also dump raw pstats data to PATH (implies --profile)")
     e.set_defaults(func=cmd_evaluate)
+
+    k = sub.add_parser(
+        "check",
+        help="fuzz the pipeline against the cross-stage differential oracles",
+    )
+    k.add_argument("--fuzz", type=int, default=25, metavar="N",
+                   help="number of seeded corpus loops (default: 25)")
+    k.add_argument("--seed", type=int, default=2026,
+                   help="corpus seed; the same --fuzz/--seed pair always "
+                        "exercises the same cells (default: 2026)")
+    k.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimizing reproducers")
+    k.add_argument("--shrink-out", metavar="DIR",
+                   help="write each shrunk reproducer to DIR as parseable IR")
+    k.add_argument("--progress", action="store_true")
+    k.set_defaults(func=cmd_check)
 
     d = sub.add_parser(
         "diagnose", help="explain one loop's degradation (recurrence vs resources)"

@@ -49,6 +49,11 @@ class PipelineConfig:
     run_regalloc: bool = True
     run_simulation: bool = False
     sim_trip_count: int = 6
+    #: run the cross-stage differential oracles (repro.check) on the final
+    #: artifacts; ``check_trip_counts=()`` lets the checker derive a sweep
+    #: from the kernel's stage count
+    run_check: bool = False
+    check_trip_counts: tuple[int, ...] = ()
     seed: int = 0
     max_spill_rounds: int = 3
     precolored: dict[SymbolicRegister, int] | None = None
@@ -97,6 +102,7 @@ class CompilationContext:
 
     # validation + distillation
     sim_checked: bool = False
+    oracle_checked: bool = False
     metrics: "LoopMetrics | None" = None
 
     # diagnostics

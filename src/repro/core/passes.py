@@ -362,6 +362,32 @@ class SimulateCheck:
         ctx.sim_checked = True
 
 
+class CheckOracles:
+    """Opt-in cross-stage differential checking (``--check`` mode).
+
+    Runs every registered oracle in :mod:`repro.check.oracles` against
+    the context's final artifacts and raises the first
+    :class:`~repro.check.oracles.OracleViolation` so callers (CLI,
+    evaluation runner) see oracle failures exactly where a pipeline
+    exception would surface.
+    """
+
+    name = "CheckOracles"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if not ctx.config.run_check:
+            return
+        from repro.check.oracles import run_oracles, subject_from_context
+
+        subject = subject_from_context(
+            ctx, trip_counts=ctx.config.check_trip_counts
+        )
+        violations = run_oracles(subject)
+        if violations:
+            raise violations[0]
+        ctx.oracle_checked = True
+
+
 class ComputeMetrics:
     """Distill the context into a :class:`LoopMetrics` for evalx."""
 
@@ -406,5 +432,6 @@ def default_passes(config: "object | None" = None) -> list[Pass]:
         PartitionPass(),
         SpillRetryLoop(),
         SimulateCheck(),
+        CheckOracles(),
         ComputeMetrics(),
     ]

@@ -75,6 +75,10 @@ class CompilationResult:
     scheduler_stats: dict = field(default_factory=dict)
     #: aggregated wall time per pass name (see ``CompilationContext.events``)
     pass_seconds: dict[str, float] = field(default_factory=dict)
+    #: the pre-copy loop ``partition`` actually describes: the input loop,
+    #: or its spill-rewritten successor after spill rounds.  The
+    #: cross-stage oracles (repro.check) count communication demand on it.
+    precopy_loop: Loop | None = None
 
 
 def compile_loop(
@@ -108,4 +112,5 @@ def compile_loop(
         metrics=ctx.metrics,
         bank_assignment=ctx.bank_assignment,
         pass_seconds=ctx.pass_seconds(),
+        precopy_loop=ctx.current_loop,
     )

@@ -54,10 +54,11 @@ def degradation_bucket(degradation_pct: float) -> str:
     return ">90%"
 
 
-#: failure classification, in increasing order of violence: the pipeline
-#: raised; the wall-clock budget expired; the process died outright (or
-#: the result could not cross the process boundary).
-FAILURE_KINDS: tuple[str, ...] = ("exception", "timeout", "crash")
+#: failure classification, in increasing order of violence: a cross-stage
+#: oracle (``repro check``) rejected a result that compiled fine; the
+#: pipeline raised; the wall-clock budget expired; the process died
+#: outright (or the result could not cross the process boundary).
+FAILURE_KINDS: tuple[str, ...] = ("oracle", "exception", "timeout", "crash")
 
 
 @dataclass(frozen=True)

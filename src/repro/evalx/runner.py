@@ -126,7 +126,14 @@ def _compile_cell(
 def _failure_cell(
     idx: int, label: str, loop: Loop, exc: BaseException, attempts: int
 ) -> Cell:
-    kind = "timeout" if isinstance(exc, DeadlineExceeded) else "exception"
+    from repro.check.oracles import OracleViolation
+
+    if isinstance(exc, DeadlineExceeded):
+        kind = "timeout"
+    elif isinstance(exc, OracleViolation):
+        kind = "oracle"
+    else:
+        kind = "exception"
     return Cell(
         loop_index=idx,
         config=label,

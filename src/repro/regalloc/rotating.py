@@ -52,20 +52,35 @@ class RotatingAllocation:
 
 def _conflicts(u: LiveRange, o_u: int, v: LiveRange, o_v: int, ii: int, n: int) -> bool:
     """Do ``u`` at offset ``o_u`` and ``v`` at offset ``o_v`` ever share a
-    physical register while both live?  See module docs for the algebra."""
+    physical register while both live?  See module docs for the algebra.
+
+    Exact integer arithmetic throughout: a conflict exists iff some
+    integer ``j ≡ d (mod n)`` satisfies ``D - L_v < j*ii < D + L_u``.  The
+    smallest candidate is the least ``j ≡ d (mod n)`` with
+    ``j*ii > D - L_v``, i.e. ``j >= (D - L_v) // ii + 1`` (floor division,
+    strict bound), lifted to the congruence class by divmod.
+    """
     d = (o_u - o_v) % n
     big_d = u.start - v.start
-    # instances k of u and m of v share a register iff j = m - k ≡ d
-    # (mod N); their lifetimes overlap iff D - L_v < j*II < D + L_u
-    lo = (big_d - v.lifetime) / ii
-    hi = (big_d + u.lifetime) / ii
-    # smallest j ≡ d (mod n) strictly greater than lo
-    import math
+    # smallest integer j with j*ii strictly above the open interval's
+    # lower end D - L_v ...
+    j_min = (big_d - v.lifetime) // ii + 1
+    # ... lifted to the smallest j >= j_min with j ≡ d (mod n)
+    j = j_min + (d - j_min) % n
+    return j * ii < big_d + u.lifetime
 
-    j = d + n * math.ceil((lo - d) / n + 1e-12)
-    while j <= lo + 1e-12:
-        j += n
-    return j < hi - 1e-12
+
+def _conflicts_either_way(
+    u: LiveRange, o_u: int, v: LiveRange, o_v: int, ii: int, n: int
+) -> bool:
+    """Evaluate the conflict relation in both orientations.
+
+    The algebra is symmetric (``j -> -j``, ``d -> -d mod n``), so the two
+    calls must agree; checking both directions means a one-sided slip in
+    ``_conflicts`` admits no clash that :func:`verify_rotating` would then
+    report at wraparound.
+    """
+    return _conflicts(u, o_u, v, o_v, ii, n) or _conflicts(v, o_v, u, o_u, ii, n)
 
 
 def allocate_rotating(
@@ -98,7 +113,10 @@ def allocate_rotating(
         for lr in order:
             slot = None
             for o in range(n):
-                if all(not _conflicts(lr, o, other, oo, ii, n) for other, oo in placed):
+                if all(
+                    not _conflicts_either_way(lr, o, other, oo, ii, n)
+                    for other, oo in placed
+                ):
                     slot = o
                     break
             if slot is None:

@@ -87,12 +87,17 @@ def expand_pipeline(kernel: KernelSchedule, trip_count: int) -> PipelineExpansio
     slots.sort(key=lambda s: (s.cycle, s.op.op_id))
 
     stages = kernel.stage_count
+    total = kernel.total_cycles(trip_count)
+    # The pipeline is in steady state exactly while a new iteration enters
+    # every II *and* all stages are occupied: cycles c with
+    # ``stages - 1 <= c // II < trip_count``.  Before that is fill
+    # (prelude), after it drain (postlude).
     prelude_end = min((stages - 1) * kernel.ii, trip_count * kernel.ii)
-    postlude_start = max(prelude_end, (trip_count - stages + 1) * kernel.ii + (stages - 1) * kernel.ii)
-    # simplification: steady state ends when the last iteration has issued
-    # everything up to the final stage boundary
-    postlude_start = max(prelude_end, (trip_count - 1) * kernel.ii + (stages - 1) * kernel.ii)
-    postlude_start = min(postlude_start, kernel.total_cycles(trip_count))
+    postlude_start = min(max(prelude_end, trip_count * kernel.ii), total)
+    assert prelude_end <= postlude_start <= total
+    if trip_count < stages:
+        # steady state is never reached: the kernel phase must be empty
+        assert prelude_end == postlude_start
     return PipelineExpansion(
         kernel=kernel,
         trip_count=trip_count,

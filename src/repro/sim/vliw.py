@@ -5,8 +5,14 @@ t(o)``.  The executor materializes the dataflow with per-iteration value
 instances: a source register carried across ``d`` iterations (per its DDG
 flow edge) resolves to the instance produced by iteration ``k - d``, or
 the seeded initial value when ``k - d < 0``.  Every value instance —
-register or memory — carries a *ready cycle* of ``issue + latency``, and a
-read before readiness raises :class:`TimingViolation`: a schedule that
+register or memory — carries a *ready cycle* of ``issue + latency`` and
+obeys one visibility rule on both paths: **a value ready at cycle R is
+observable by operations issuing at any cycle >= R** (matching the DDG
+convention ``t_consumer >= t_producer + latency``).  A register read
+before readiness raises :class:`TimingViolation` — including the final
+live-out reads, which are performed at the pipeline's last cycle rather
+than with the check bypassed — while a memory load before a pending
+store's ready cycle observes the previous contents.  A schedule that
 merely looked legal but mis-modeled a latency cannot pass this executor.
 """
 
@@ -68,29 +74,50 @@ class VLIWExecutor:
 
         defined_rids = {o.dest.rid for o in loop.ops if o.dest is not None}
         for cycle, k, op in issues:
-            # commit memory writes due by this cycle
-            if pending_mem:
-                due = [w for w in pending_mem if w[0] <= cycle]
-                if due:
-                    due.sort(key=lambda w: w[0])
-                    for _, array, idx, val in due:
-                        state.memory[(array, idx)] = val
-                    pending_mem = [w for w in pending_mem if w[0] > cycle]
+            self._commit_memory(state, pending_mem, cycle)
             self._execute(
                 op, k, cycle, state, pending_mem, src_distance, machine, defined_rids
             )
 
-        # drain remaining memory traffic
-        for _, array, idx, val in sorted(pending_mem):
-            state.memory[(array, idx)] = val
+        # drain remaining memory traffic at the end of the pipeline; the
+        # end cycle bounds every ready cycle by construction (flat_length
+        # includes the last operation's latency), which the commit asserts
+        end = kernel.total_cycles(self.trip_count)
+        self._commit_memory(state, pending_mem, end)
+        if pending_mem:
+            w = min(pending_mem)
+            raise TimingViolation(
+                f"store to {(w[1], w[2])} ready at {w[0]} but the pipeline "
+                f"ends at cycle {end}"
+            )
 
-        # expose final live-out register values (last iteration's instance)
+        # expose final live-out register values (last iteration's instance),
+        # read at the pipeline's end cycle so readiness is still enforced
         for reg in loop.live_out:
-            state.registers[reg.rid] = self._read(reg, self.trip_count - 1, None)
+            state.registers[reg.rid] = self._read(reg, self.trip_count - 1, end)
         return state
 
+    @staticmethod
+    def _commit_memory(
+        state: MachineState, pending_mem: list, cycle: int
+    ) -> None:
+        """Commit pending stores whose ready cycle has been reached.
+
+        Same visibility boundary as the register path: a store ready at R
+        is observable by ops issuing at cycle >= R.  Ready-cycle ties are
+        broken by issue order (the list is appended in issue order and the
+        sort is stable), never by stored value.
+        """
+        due = [w for w in pending_mem if w[0] <= cycle]
+        if not due:
+            return
+        due.sort(key=lambda w: w[0])
+        for _, array, idx, val in due:
+            state.memory[(array, idx)] = val
+        pending_mem[:] = [w for w in pending_mem if w[0] > cycle]
+
     # ------------------------------------------------------------------
-    def _read(self, reg: SymbolicRegister, instance_iter: int, cycle: int | None) -> Value:
+    def _read(self, reg: SymbolicRegister, instance_iter: int, cycle: int) -> Value:
         if instance_iter < 0:
             return self._initial[reg.rid]
         entry = self._instances.get((reg.rid, instance_iter))
@@ -98,7 +125,7 @@ class VLIWExecutor:
             # register never defined in the body: loop-invariant live-in
             return self._initial[reg.rid]
         value, ready = entry
-        if cycle is not None and ready > cycle:
+        if ready > cycle:
             raise TimingViolation(
                 f"{reg} (iteration {instance_iter}) read at cycle {cycle} "
                 f"but ready only at {ready}"

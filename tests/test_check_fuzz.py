@@ -1,0 +1,82 @@
+"""Corpus fuzzing, runner integration and the ``repro check`` CLI."""
+
+from __future__ import annotations
+
+from repro.check.fuzz import fuzz_corpus
+from repro.check.oracles import OracleViolation
+from repro.cli import main
+from repro.evalx.runner import _failure_cell
+from repro.ir.parser import parse_loop
+from tests.test_check_oracles import _buggy_expand_pipeline
+
+
+def test_clean_fuzz_run(capsys):
+    report = fuzz_corpus(n_loops=5, seed=2026)
+    assert report.ok
+    assert report.n_loops == 5
+    assert report.n_cells == 10
+    assert "all oracles clean" in report.format()
+
+
+def test_fuzz_is_deterministic():
+    a = fuzz_corpus(n_loops=4, seed=11)
+    b = fuzz_corpus(n_loops=4, seed=11)
+    assert [f.failure for f in a.failures] == [f.failure for f in b.failures]
+    assert a.n_cells == b.n_cells
+
+
+def test_injected_bug_yields_oracle_failure_cells(monkeypatch):
+    monkeypatch.setattr(
+        "repro.check.oracles.expand_pipeline", _buggy_expand_pipeline
+    )
+    report = fuzz_corpus(n_loops=2, seed=2026)
+    assert not report.ok
+    for failure in report.failures:
+        assert failure.failure.kind == "oracle"
+        assert failure.oracle == "phase_partition"
+        # every failure ships a parseable, tiny reproducer
+        assert failure.reproducer is not None
+        assert failure.shrunk_ops is not None and failure.shrunk_ops <= 6
+        parse_loop(failure.reproducer)
+    assert "FAILURES" in report.format()
+
+
+def test_fuzz_without_shrinking(monkeypatch):
+    monkeypatch.setattr(
+        "repro.check.oracles.expand_pipeline", _buggy_expand_pipeline
+    )
+    report = fuzz_corpus(n_loops=1, seed=2026, shrink=False)
+    assert not report.ok
+    assert all(f.reproducer is None for f in report.failures)
+
+
+def test_failure_cell_maps_oracle_violation(dot_loop):
+    cell = _failure_cell(
+        0, "2 Clusters / Embedded", dot_loop,
+        OracleViolation("phase_partition", "boom"), attempts=1,
+    )
+    assert cell.failure.kind == "oracle"
+    assert "phase_partition" in cell.failure.error
+
+
+def test_cli_check_exits_zero_when_clean(capsys):
+    assert main(["check", "--fuzz", "3", "--seed", "2026"]) == 0
+    assert "all oracles clean" in capsys.readouterr().out
+
+
+def test_cli_check_exits_nonzero_and_writes_reproducers(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.setattr(
+        "repro.check.oracles.expand_pipeline", _buggy_expand_pipeline
+    )
+    out_dir = tmp_path / "reproducers"
+    code = main([
+        "check", "--fuzz", "1", "--seed", "2026",
+        "--shrink-out", str(out_dir),
+    ])
+    assert code == 1
+    written = sorted(out_dir.glob("*.ir"))
+    assert written
+    for path in written:
+        parse_loop(path.read_text(encoding="utf-8"))

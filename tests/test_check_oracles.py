@@ -1,0 +1,177 @@
+"""Cross-stage oracles: clean artifacts pass, sabotaged artifacts fail."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.oracles import (
+    ORACLES,
+    OracleViolation,
+    run_oracles,
+    subject_from_result,
+)
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.sched.modulo.kernel import PipelineExpansion
+
+
+@pytest.fixture
+def compiled_dot(dot_loop):
+    machine = paper_machine(2, CopyModel.EMBEDDED)
+    return compile_loop(dot_loop, machine, PipelineConfig())
+
+
+@pytest.fixture
+def dot_subject(compiled_dot):
+    return subject_from_result(compiled_dot)
+
+
+def test_registry_has_all_five_oracles():
+    assert set(ORACLES) == {
+        "semantic_equivalence",
+        "phase_partition",
+        "rotating_allocation",
+        "copy_consistency",
+        "schedule_validation",
+    }
+
+
+def test_clean_compilation_passes_all_oracles(dot_subject):
+    assert run_oracles(dot_subject) == []
+
+
+def test_clean_compilation_passes_on_all_machines(daxpy_loop, clustered_machine):
+    result = compile_loop(daxpy_loop, clustered_machine, PipelineConfig())
+    assert run_oracles(subject_from_result(result)) == []
+
+
+def test_only_filter_restricts_oracles(dot_subject):
+    violations = run_oracles(dot_subject, only=("phase_partition",))
+    assert violations == []
+
+
+def test_memory_recurrence_passes(memrec_loop):
+    machine = paper_machine(4, CopyModel.COPY_UNIT)
+    result = compile_loop(memrec_loop, machine, PipelineConfig())
+    assert run_oracles(subject_from_result(result)) == []
+
+
+# ----------------------------------------------------------------------
+# sabotage: each oracle must catch its own class of corruption
+# ----------------------------------------------------------------------
+
+
+def _buggy_expand_pipeline(kernel, trip_count):
+    """The pre-fix ``expand_pipeline``: dead assignment then an off-by-
+    stages postlude boundary (the satellite bug this PR removes)."""
+    from repro.sched.modulo.kernel import IssueSlot
+
+    slots = []
+    for k in range(trip_count):
+        base = k * kernel.ii
+        for op in kernel.loop.ops:
+            slots.append(
+                IssueSlot(cycle=base + kernel.time_of(op), op=op, iteration=k)
+            )
+    slots.sort(key=lambda s: (s.cycle, s.op.op_id))
+    stages = kernel.stage_count
+    prelude_end = (stages - 1) * kernel.ii
+    postlude_start = prelude_end + trip_count * kernel.ii  # dead assignment
+    postlude_start = (trip_count - 1 + stages - 1) * kernel.ii
+    return PipelineExpansion(
+        kernel=kernel,
+        trip_count=trip_count,
+        slots=slots,
+        prelude_end=min(prelude_end, kernel.total_cycles(trip_count)),
+        postlude_start=min(postlude_start, kernel.total_cycles(trip_count)),
+    )
+
+
+def test_phase_oracle_catches_reintroduced_expansion_bug(
+    dot_subject, monkeypatch
+):
+    monkeypatch.setattr(
+        "repro.check.oracles.expand_pipeline", _buggy_expand_pipeline
+    )
+    violations = run_oracles(dot_subject, only=("phase_partition",))
+    assert violations, "phase oracle missed the reintroduced boundary bug"
+    assert violations[0].oracle == "phase_partition"
+
+
+def test_semantic_oracle_catches_dataflow_corruption(compiled_dot):
+    subject = subject_from_result(compiled_dot)
+    # rewire the partitioned fmul to square its first operand: the kernel
+    # executes different dataflow than the source loop
+    fmul = next(op for op in subject.partitioned.loop.ops if op.opcode.value == "fmul")
+    fmul.sources = (fmul.sources[0], fmul.sources[0])
+    violations = run_oracles(subject, only=("semantic_equivalence",))
+    assert violations and violations[0].oracle == "semantic_equivalence"
+
+
+def test_copy_oracle_catches_missing_copy(compiled_dot):
+    subject = subject_from_result(compiled_dot)
+    assert subject.partitioned.body_copies, "need a cross-bank copy to drop"
+    subject.partitioned.body_copies.pop()
+    violations = run_oracles(subject, only=("copy_consistency",))
+    assert violations and violations[0].oracle == "copy_consistency"
+    assert "demands" in violations[0].detail
+
+
+def test_rotating_oracle_catches_broken_conflict_test(dot_subject, monkeypatch):
+    # an allocator that believes nothing ever conflicts packs every value
+    # into offset 0; the occupancy walk (or the brute-force cross-check)
+    # must call that out
+    monkeypatch.setattr(
+        "repro.regalloc.rotating._conflicts", lambda *a, **k: False
+    )
+    violations = run_oracles(dot_subject, only=("rotating_allocation",))
+    assert violations and violations[0].oracle == "rotating_allocation"
+
+
+def test_schedule_oracle_catches_dependence_violation(compiled_dot):
+    subject = subject_from_result(compiled_dot)
+    # pretend the partitioned kernel satisfies the *ideal* loop's DDG: the
+    # op sets differ, so the independent validator must object
+    subject.partitioned_ddg = subject.ddg
+    violations = run_oracles(subject, only=("schedule_validation",))
+    assert violations and violations[0].oracle == "schedule_validation"
+
+
+def test_oracle_crash_is_reported_not_raised(dot_subject, monkeypatch):
+    def exploding(subject):
+        raise RuntimeError("oracle bug")
+
+    monkeypatch.setitem(ORACLES, "phase_partition", exploding)
+    violations = run_oracles(dot_subject, only=("phase_partition",))
+    assert violations and "oracle crashed" in violations[0].detail
+
+
+# ----------------------------------------------------------------------
+# pipeline integration: the opt-in CheckOracles pass
+# ----------------------------------------------------------------------
+
+
+def test_pipeline_check_mode_passes_clean_loop(daxpy_loop):
+    machine = paper_machine(2, CopyModel.EMBEDDED)
+    result = compile_loop(daxpy_loop, machine, PipelineConfig(run_check=True))
+    assert result.metrics is not None
+
+
+def test_pipeline_check_mode_raises_oracle_violation(dot_loop, monkeypatch):
+    monkeypatch.setattr(
+        "repro.check.oracles.expand_pipeline", _buggy_expand_pipeline
+    )
+    machine = paper_machine(2, CopyModel.EMBEDDED)
+    with pytest.raises(OracleViolation):
+        compile_loop(dot_loop, machine, PipelineConfig(run_check=True))
+
+
+def test_check_mode_off_by_default(dot_loop, monkeypatch):
+    # without run_check the sabotaged expansion is never consulted
+    monkeypatch.setattr(
+        "repro.check.oracles.expand_pipeline", _buggy_expand_pipeline
+    )
+    machine = paper_machine(2, CopyModel.EMBEDDED)
+    result = compile_loop(dot_loop, machine, PipelineConfig())
+    assert result.metrics is not None

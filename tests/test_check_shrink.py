@@ -1,0 +1,129 @@
+"""Greedy reproducer minimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.oracles import run_oracles, subject_from_result
+from repro.check.shrink import (
+    drop_operation,
+    render_reproducer,
+    shrink_loop,
+    with_trip_count,
+)
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.ir.parser import parse_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from tests.test_check_oracles import _buggy_expand_pipeline
+
+
+def test_drop_operation_orphans_become_live_ins(daxpy_loop):
+    # dropping the fmul leaves fadd reading f3, which must become a live-in
+    idx = next(
+        i for i, op in enumerate(daxpy_loop.ops) if op.opcode.value == "fmul"
+    )
+    smaller = drop_operation(daxpy_loop, idx)
+    assert len(smaller.ops) == len(daxpy_loop.ops) - 1
+    assert "f3" in {r.name for r in smaller.live_in}
+    # fa is no longer read by anything -> dropped from live-ins
+    assert "fa" not in {r.name for r in smaller.live_in}
+
+
+def test_drop_operation_drops_orphaned_live_outs(dot_loop):
+    idx = next(
+        i for i, op in enumerate(dot_loop.ops) if op.opcode.value == "fadd"
+    )
+    smaller = drop_operation(dot_loop, idx)
+    assert "f4" not in {r.name for r in smaller.live_out}
+
+
+def test_drop_last_operation_returns_none(dot_loop):
+    current = dot_loop
+    while len(current.ops) > 1:
+        current = drop_operation(current, len(current.ops) - 1)
+    assert drop_operation(current, 0) is None
+
+
+def test_with_trip_count_preserves_body(daxpy_loop):
+    copy = with_trip_count(daxpy_loop, 3)
+    assert copy.trip_count_hint == 3
+    assert len(copy.ops) == len(daxpy_loop.ops)
+    assert copy is not daxpy_loop
+
+
+def test_shrink_requires_reproducing_input(daxpy_loop):
+    with pytest.raises(ValueError):
+        shrink_loop(daxpy_loop, lambda loop: False)
+
+
+def test_shrink_to_single_essential_op(daxpy_loop):
+    # "fails whenever the loop still contains an fmul" minimizes to 1 op
+    def predicate(loop):
+        return any(op.opcode.value == "fmul" for op in loop.ops)
+
+    result = shrink_loop(daxpy_loop, predicate)
+    assert result.final_ops == 1
+    assert result.loop.ops[0].opcode.value == "fmul"
+    assert result.trip_count == 1
+    assert result.original_ops == len(daxpy_loop.ops)
+
+
+def test_shrink_treats_predicate_crash_as_non_reproducing(daxpy_loop):
+    # the predicate explodes on any loop smaller than the original: the
+    # shrinker must keep the original instead of propagating the crash
+    def fragile(loop):
+        if len(loop.ops) < len(daxpy_loop.ops):
+            raise RuntimeError("different bug")
+        return True
+
+    result = shrink_loop(daxpy_loop, fragile)
+    assert result.final_ops == len(daxpy_loop.ops)
+
+
+def test_shrink_respects_attempt_budget(daxpy_loop):
+    result = shrink_loop(
+        daxpy_loop, lambda loop: True, max_attempts=3
+    )
+    assert result.attempts <= 3
+
+
+def test_render_reproducer_round_trips_through_parser(daxpy_loop):
+    def predicate(loop):
+        return any(op.opcode.value == "fmul" for op in loop.ops)
+
+    result = shrink_loop(daxpy_loop, predicate)
+    text = render_reproducer(
+        result, "phase_partition", "detail line", "2 Clusters / Embedded", seed=7
+    )
+    assert "# repro check reproducer" in text
+    reparsed = parse_loop(text)
+    assert len(reparsed.ops) == result.final_ops
+
+
+def test_reintroduced_expansion_bug_shrinks_to_tiny_reproducer(
+    daxpy_loop, monkeypatch
+):
+    """Acceptance check: with the old ``expand_pipeline`` boundary bug put
+    back, the phase oracle fails and the shrinker commits a reproducer of
+    at most 6 operations."""
+    monkeypatch.setattr(
+        "repro.check.oracles.expand_pipeline", _buggy_expand_pipeline
+    )
+    machine = paper_machine(2, CopyModel.EMBEDDED)
+    config = PipelineConfig()
+
+    def phase_oracle_fails(loop):
+        result = compile_loop(loop, machine, config)
+        violations = run_oracles(
+            subject_from_result(result), only=("phase_partition",)
+        )
+        return bool(violations)
+
+    assert phase_oracle_fails(daxpy_loop), "bug not reintroduced?"
+    shrunk = shrink_loop(daxpy_loop, phase_oracle_fails)
+    assert shrunk.final_ops <= 6
+    text = render_reproducer(
+        shrunk, "phase_partition", "reintroduced boundary bug", "2 Clusters / Embedded"
+    )
+    assert parse_loop(text).name == daxpy_loop.name

@@ -1,0 +1,91 @@
+"""Property sweeps over pipeline expansion (trip count x stages x II).
+
+Complements test_kernel_expansion.py's example-based cases with grid
+sweeps asserting the invariants the phase oracle enforces, directly on
+``expand_pipeline`` and for every (loop, scheduler-target) combination we
+can cheaply build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ddg.builder import build_loop_ddg
+from repro.ir.builder import LoopBuilder
+from repro.machine.presets import ideal_machine
+from repro.sched.modulo.kernel import expand_pipeline
+from repro.sched.modulo.scheduler import modulo_schedule
+
+
+def build_chain():
+    """A long dependence chain: deep pipelines (3+ stages) at small II."""
+    b = LoopBuilder("chain")
+    b.fload("f1", "x")
+    b.fmul("f2", "f1", "f1")
+    b.fmul("f3", "f2", "f2")
+    b.fadd("f4", "f3", "f2")
+    b.fstore("f4", "y")
+    return b.build()
+
+
+def _kernels():
+    from tests.conftest import build_daxpy, build_dot, build_mem_recurrence
+
+    machine = ideal_machine()
+    for factory in (build_daxpy, build_dot, build_mem_recurrence, build_chain):
+        loop = factory()
+        ddg = build_loop_ddg(loop, machine.latencies)
+        yield loop.name, modulo_schedule(loop, ddg, machine)
+
+
+KERNELS = list(_kernels())
+assert any(k.stage_count >= 3 for _, k in KERNELS), "sweep needs a deep pipeline"
+
+
+@pytest.mark.parametrize("name,kernel", KERNELS, ids=[n for n, _ in KERNELS])
+def test_phases_partition_total_cycles(name, kernel):
+    stages = kernel.stage_count
+    for trips in range(1, 2 * stages + 4):
+        exp = expand_pipeline(kernel, trips)
+        total = kernel.total_cycles(trips)
+        assert 0 <= exp.prelude_end <= exp.postlude_start <= total
+        if trips < stages:
+            # steady state never reached: the kernel phase must be empty
+            assert exp.prelude_end == exp.postlude_start
+
+
+@pytest.mark.parametrize("name,kernel", KERNELS, ids=[n for n, _ in KERNELS])
+def test_phase_labels_match_definitional_steady_state(name, kernel):
+    ii, stages = kernel.ii, kernel.stage_count
+    for trips in range(1, 2 * stages + 4):
+        exp = expand_pipeline(kernel, trips)
+        for cycle in range(exp.total_cycles):
+            steady = stages - 1 <= cycle // ii < trips
+            assert (exp.phase_of(cycle) == "kernel") == steady, (
+                f"{name}: trip={trips} cycle={cycle}"
+            )
+
+
+@pytest.mark.parametrize("name,kernel", KERNELS, ids=[n for n, _ in KERNELS])
+def test_slots_consistent_with_iteration_and_schedule(name, kernel):
+    ii = kernel.ii
+    for trips in (1, kernel.stage_count, 2 * kernel.stage_count + 3):
+        exp = expand_pipeline(kernel, trips)
+        assert len(exp.slots) == trips * len(kernel.loop.ops)
+        for slot in exp.slots:
+            assert 0 <= slot.iteration < trips
+            assert slot.cycle == slot.iteration * ii + kernel.time_of(slot.op)
+        # each iteration issues the full body exactly once
+        per_iteration = [0] * trips
+        for slot in exp.slots:
+            per_iteration[slot.iteration] += 1
+        assert per_iteration == [len(kernel.loop.ops)] * trips
+
+
+@pytest.mark.parametrize("name,kernel", KERNELS, ids=[n for n, _ in KERNELS])
+def test_render_is_byte_stable(name, kernel):
+    for trips in (1, kernel.stage_count + 2):
+        first = expand_pipeline(kernel, trips).format()
+        second = expand_pipeline(kernel, trips).format()
+        assert first == second
+        assert first.encode("utf-8").decode("utf-8") == first

@@ -28,7 +28,7 @@ class TestPassPipeline:
         names = [p.name for p in default_passes()]
         assert names == [
             "BuildDDG", "IdealSchedule", "PartitionPass",
-            "SpillRetryLoop", "SimulateCheck", "ComputeMetrics",
+            "SpillRetryLoop", "SimulateCheck", "CheckOracles", "ComputeMetrics",
         ]
 
     def test_events_record_every_pass_with_time(self):

@@ -82,6 +82,44 @@ class TestRotatingAllocation:
             alloc = allocate_rotating(liv)
             verify_rotating(alloc, liv, trips=6)
 
+    def test_conflict_relation_exact_and_symmetric(self):
+        """Grid-check the integer-exact ``_conflicts`` closed form against
+        occupancy simulation, in both orientations (regression for the old
+        float-division + epsilon version, which was neither)."""
+        from repro.ir.registers import RegisterFactory
+        from repro.regalloc.liveness import LiveRange
+        from repro.regalloc.rotating import _conflicts
+
+        factory = RegisterFactory()
+        ru, rv = factory.new(), factory.new()
+
+        def occupancy_overlap(u, o_u, v, o_v, ii, n, horizon=16):
+            for k1 in range(horizon):
+                for k2 in range(horizon):
+                    if (o_u + k1) % n != (o_v + k2) % n:
+                        continue
+                    a, b = u.start + k1 * ii, v.start + k2 * ii
+                    if a < b + v.lifetime and b < a + u.lifetime:
+                        return True
+            return False
+
+        for ii in (1, 2, 3):
+            for n in (1, 2, 3, 5):
+                for start_u in (0, 1, 2, 5, 9):
+                    for life_u in (1, 3, 6):
+                        for life_v in (1, 3, 6):
+                            u = LiveRange(reg=ru, start=start_u, lifetime=life_u)
+                            v = LiveRange(reg=rv, start=0, lifetime=life_v)
+                            for o_u in range(n):
+                                forward = _conflicts(u, o_u, v, 0, ii, n)
+                                backward = _conflicts(v, 0, u, o_u, ii, n)
+                                truth = occupancy_overlap(u, o_u, v, 0, ii, n)
+                                assert forward == backward == truth, (
+                                    f"ii={ii} n={n} D={start_u} "
+                                    f"L=({life_u},{life_v}) o_u={o_u}: "
+                                    f"fwd={forward} bwd={backward} truth={truth}"
+                                )
+
     def test_no_unroll_needed(self):
         """The headline trade vs MVE: rotating allocation never unrolls
         the kernel, even when lifetimes far exceed II."""

@@ -86,6 +86,57 @@ class TestPartitionedEquivalence:
             assert env[dst.rid] == seed_register(src)
 
 
+class TestMemoryVisibilityBoundary:
+    """One visibility rule on both paths: ready at R => observable at >= R."""
+
+    def _store_load_loop(self):
+        from repro.ir.builder import LoopBuilder
+
+        b = LoopBuilder("storeload")
+        b.fstore("fa", "x")
+        b.fload("f1", "x")
+        b.live_in("fa")
+        b.live_out("f1")
+        return b.build()
+
+    def _schedule(self, loop, ideal16, load_time):
+        store = loop.ops[0]
+        ddg = build_loop_ddg(loop)
+        latency = ideal16.latency(store)
+        ks = KernelSchedule(
+            machine=ideal16,
+            loop=loop,
+            ii=latency + 1,
+            times={store.op_id: 0, loop.ops[1].op_id: load_time},
+        )
+        return ks, ddg, latency
+
+    def test_load_at_store_ready_cycle_sees_new_value(self, ideal16):
+        from repro.sim.values import seed_register
+
+        loop = self._store_load_loop()
+        latency = ideal16.latency(loop.ops[0])
+        ks, ddg, _ = self._schedule(loop, ideal16, load_time=latency)
+        state = run_pipelined(ks, ddg, trip_count=1)
+        fa = loop.factory.get("fa")
+        f1 = loop.factory.get("f1")
+        assert state.registers[f1.rid] == seed_register(fa)
+
+    def test_load_one_cycle_early_sees_previous_contents(self, ideal16):
+        from repro.sim.values import seed_memory, seed_register
+
+        loop = self._store_load_loop()
+        latency = ideal16.latency(loop.ops[0])
+        ks, ddg, _ = self._schedule(loop, ideal16, load_time=latency - 1)
+        state = run_pipelined(ks, ddg, trip_count=1)
+        f1 = loop.factory.get("f1")
+        fa = loop.factory.get("fa")
+        assert state.registers[f1.rid] == seed_memory("x", 0, True)
+        assert state.registers[f1.rid] != seed_register(fa)
+        # the store still commits by the end of the pipeline
+        assert state.memory[("x", 0)] == seed_register(fa)
+
+
 class TestStateComparison:
     def test_store_counts_match_reference(self, daxpy_loop, ideal16):
         ddg = build_loop_ddg(daxpy_loop)
