@@ -53,32 +53,89 @@ def calibration_seconds(repeats: int = 3) -> float:
     return best
 
 
+def disabled_hook_ns(samples: int = 200_000) -> float:
+    """Per-invocation cost of one *disabled* tracing hook, in nanoseconds.
+
+    Times the exact no-op path every instrumentation site takes when
+    tracing is off: a ``NULL_TRACER.span()`` call used as a context
+    manager.  (Sub-step sites are even cheaper — a single ``is not
+    None`` guard — so scaling this by the enabled-run span count upper-
+    bounds the true disabled overhead.)
+    """
+    from repro.obs import NULL_TRACER
+
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        with NULL_TRACER.span("x", cat="pass"):
+            pass
+    return (time.perf_counter() - t0) / samples * 1e9
+
+
 def run_benchmark(quick_n: int = QUICK_N, repeats: int = REPEATS) -> dict:
     from repro.core.pipeline import PipelineConfig
     from repro.evalx.runner import run_evaluation
+    from repro.obs import Tracer
     from repro.workloads.corpus import spec95_corpus
 
     loops = spec95_corpus(n=quick_n)
     config = PipelineConfig(run_regalloc=False)
+    run_evaluation(loops=loops, config=config)  # warm-up
 
-    best_wall = None
+    # main leg: observability disabled (the default).  Wall and
+    # calibration are sampled *adjacently in pairs* so host-speed
+    # fluctuations hit both sides of the ratio and cancel; the score is
+    # the best pair, which is far more stable across runs than dividing
+    # independently-taken minima.
+    best_score = best_wall = best_calibration = None
     best_passes: dict[str, float] = {}
     for _ in range(repeats):
+        before = calibration_seconds(repeats=1)
         t0 = time.perf_counter()
         run = run_evaluation(loops=loops, config=config)
         wall = time.perf_counter() - t0
-        if best_wall is None or wall < best_wall:
-            best_wall = wall
+        after = calibration_seconds(repeats=1)
+        calibration = min(before, after)
+        score = wall / calibration
+        if best_score is None or score < best_score:
+            best_score, best_wall, best_calibration = score, wall, calibration
             best_passes = dict(run.pass_seconds)
 
-    calibration = calibration_seconds()
+    # obs leg: same workload with span tracing + per-cell metrics on,
+    # so the enabled overhead stays visible over time
+    best_enabled = None
+    span_sites = 0
+    for _ in range(repeats):
+        tracer = Tracer()
+        t0 = time.perf_counter()
+        run_evaluation(loops=loops, config=config, tracer=tracer,
+                       collect_metrics=True)
+        wall = time.perf_counter() - t0
+        span_sites = len(tracer.spans)
+        if best_enabled is None or wall < best_enabled:
+            best_enabled = wall
+
+    # disabled-overhead leg: every one of those span sites degenerates to
+    # (at most) one no-op NULL_TRACER.span() call when tracing is off;
+    # cost per call x sites per evaluation, as a fraction of the
+    # evaluation wall, bounds what the disabled hooks can possibly cost.
+    # check_perf_regression.py gates this at <=2%.
+    hook_ns = disabled_hook_ns()
+    disabled_overhead = span_sites * hook_ns * 1e-9 / best_wall
+
     return {
         "benchmark": "compile_hotpath",
         "config": {"quick": quick_n, "repeats": repeats, "run_regalloc": False},
-        "calibration_seconds": round(calibration, 4),
+        "calibration_seconds": round(best_calibration, 4),
         "wall_seconds": round(best_wall, 4),
-        "normalized_score": round(best_wall / calibration, 3),
+        "normalized_score": round(best_score, 3),
         "pass_seconds": {k: round(v, 4) for k, v in sorted(best_passes.items())},
+        "obs": {
+            "enabled_wall_seconds": round(best_enabled, 4),
+            "enabled_overhead_ratio": round(best_enabled / best_wall, 3),
+            "span_sites_per_eval": span_sites,
+            "disabled_hook_ns": round(hook_ns, 1),
+            "disabled_overhead_ratio": round(disabled_overhead, 6),
+        },
     }
 
 

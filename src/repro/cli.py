@@ -55,6 +55,24 @@ def cmd_kernels(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_obs_output(path: str, what: str):
+    """Open an observability output file for writing, failing early and
+    cleanly (before any compilation) when the path is unwritable."""
+    try:
+        return open(path, "w", encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write {what} file {path!r}: {exc}") from exc
+
+
+def _export_trace(tracer, path: str, fh) -> None:
+    from repro.obs.trace import export_trace, trace_format_for
+
+    fmt = trace_format_for(path)
+    with fh:
+        n = export_trace(tracer, fh, fmt)
+    print(f"trace ({fmt}, {n} events) written to {path}")
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     loop = _load_loop(args.loop)
     if args.unroll > 1:
@@ -70,9 +88,22 @@ def cmd_compile(args: argparse.Namespace) -> int:
         run_regalloc=not args.no_regalloc,
         run_check=args.check,
     )
-    result = compile_loop(loop, machine, config)
+    tracer = trace_fh = None
+    if args.trace:
+        from repro.evalx.runner import config_label
+        from repro.obs.trace import Tracer
+
+        trace_fh = _open_obs_output(args.trace, "trace")
+        tracer = Tracer()
+        with tracer.cell(0, config_label(args.clusters, model),
+                         loop_name=loop.name):
+            result = compile_loop(loop, machine, config, tracer=tracer)
+    else:
+        result = compile_loop(loop, machine, config)
     m = result.metrics
 
+    if tracer is not None:
+        _export_trace(tracer, args.trace, trace_fh)
     if args.timing:
         print(_format_pass_timing(result.pass_seconds))
 
@@ -164,10 +195,21 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     except CheckpointMismatch as exc:
         raise SystemExit(f"error: {exc}") from exc
 
+    tracer = trace_fh = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        trace_fh = _open_obs_output(args.trace, "trace")
+        tracer = Tracer()
+    metrics_fh = None
+    if args.metrics_out:
+        metrics_fh = _open_obs_output(args.metrics_out, "metrics")
+
     profiling = args.profile or args.profile_out
     if profiling and args.jobs > 1:
-        raise SystemExit("error: --profile only instruments the serial runner; "
-                         "drop --jobs to profile")
+        print("note: with --jobs, cProfile covers the coordinating process; "
+              "per-pass timings and cache stats aggregate from the workers",
+              file=sys.stderr)
     profiler = None
     if profiling:
         import cProfile
@@ -182,6 +224,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             timeout=args.timeout,
             checkpoint=checkpoint,
+            tracer=tracer,
+            collect_metrics=bool(args.metrics_out),
         )
     finally:
         if profiler is not None:
@@ -192,6 +236,17 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"resumed {run.resumed_cells} completed cells from "
               f"{args.resume}", file=sys.stderr)
     print(render_full_report(run))
+    if metrics_fh is not None:
+        from repro.evalx.export import aggregate_metrics, run_metrics_json
+        from repro.evalx.report import render_metrics_summary
+
+        with metrics_fh:
+            metrics_fh.write(run_metrics_json(run) + "\n")
+        print()
+        print(render_metrics_summary(aggregate_metrics(run)))
+        print(f"compile metrics written to {args.metrics_out}")
+    if tracer is not None:
+        _export_trace(tracer, args.trace, trace_fh)
     if args.timing or profiling:
         print(_format_pass_timing(run.pass_seconds))
         lookups = run.cache_hits + run.cache_misses
@@ -323,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     c.add_argument("--timing", action="store_true",
                    help="print per-pass wall times")
+    c.add_argument("--trace", metavar="PATH",
+                   help="record a hierarchical compile trace: Chrome "
+                        "trace-event JSON (chrome://tracing / Perfetto), "
+                        "or span-per-line JSONL if PATH ends in .jsonl")
     c.set_defaults(func=cmd_compile)
 
     e = sub.add_parser("evaluate", help="regenerate Tables 1-2 and Figures 5-7")
@@ -353,6 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "hottest functions (serial runner only)")
     e.add_argument("--profile-out", metavar="PATH",
                    help="also dump raw pstats data to PATH (implies --profile)")
+    e.add_argument("--trace", metavar="PATH",
+                   help="record per-cell compile traces (merged across "
+                        "workers): Chrome trace-event JSON, or JSONL if "
+                        "PATH ends in .jsonl")
+    e.add_argument("--metrics-out", metavar="PATH",
+                   help="write per-cell + aggregate compile metrics "
+                        "(counters/gauges/histograms) as JSON")
     e.set_defaults(func=cmd_evaluate)
 
     k = sub.add_parser(

@@ -20,6 +20,7 @@ from repro.ir.block import Loop
 from repro.ir.registers import SymbolicRegister
 from repro.machine.machine import MachineDescription
 from repro.machine.presets import ideal_machine
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sched.modulo.scheduler import modulo_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.rcg import RegisterComponentGraph
     from repro.core.results import LoopMetrics
     from repro.ddg.graph import DDG
+    from repro.obs.metrics import MetricsRegistry
     from repro.sched.schedule import KernelSchedule
 
 PartitionerName = Literal[
@@ -105,6 +107,12 @@ class CompilationContext:
     oracle_checked: bool = False
     metrics: "LoopMetrics | None" = None
 
+    # observability (repro.obs); both default to the disabled state and
+    # cost nothing there — NULL_TRACER's hooks are constant-time no-ops
+    # and passes only record metrics when a registry is attached
+    tracer: "Tracer | NullTracer" = NULL_TRACER
+    metrics_registry: "MetricsRegistry | None" = None
+
     # diagnostics
     events: list[PassEvent] = field(default_factory=list)
     stop_requested: bool = False
@@ -127,11 +135,20 @@ class CompilationContext:
         goes through this one closure, so ``config.scheduler`` is honored
         uniformly.
         """
+        tracer = self.tracer if self.tracer.enabled else None
         if self.config.scheduler == "swing":
             from repro.sched.modulo.swing import swing_modulo_schedule
 
+            if tracer is not None:
+                with tracer.span("swing_schedule", cat="substep") as sp:
+                    kernel = swing_modulo_schedule(loop, ddg, target)
+                    sp.set(ii=kernel.ii)
+                    return kernel
             return swing_modulo_schedule(loop, ddg, target)
-        return modulo_schedule(loop, ddg, target, budget_ratio=self.config.budget_ratio)
+        return modulo_schedule(
+            loop, ddg, target, budget_ratio=self.config.budget_ratio,
+            tracer=tracer, metrics=self.metrics_registry,
+        )
 
     # ------------------------------------------------------------------
     def record(self, name: str, seconds: float, **info: object) -> PassEvent:
@@ -149,8 +166,10 @@ class CompilationContext:
         """
         t0 = time.perf_counter()
         self._active.append(0.0)
+        span = self.tracer.span(pass_.name, cat="pass", **info)
         try:
-            signal = pass_.run(self)
+            with span:
+                signal = pass_.run(self)
         finally:
             elapsed = time.perf_counter() - t0
             child_total = self._active.pop()

@@ -64,13 +64,22 @@ class PartitionedLoop:
 
 
 def insert_copies(
-    loop: Loop, partition: Partition, machine: MachineDescription
+    loop: Loop, partition: Partition, machine: MachineDescription,
+    tracer: "object | None" = None,
 ) -> PartitionedLoop:
     """Pin operations to clusters and insert the required copies.
 
     The input ``loop`` and ``partition`` are not modified; the result
-    carries extended copies of both.
+    carries extended copies of both.  ``tracer`` (an opt-in
+    :mod:`repro.obs` hook, None = disabled) records one span with the
+    copy counts; it never affects the rewrite.
     """
+    if tracer is not None:
+        with tracer.span("insert_copies", cat="substep") as sp:
+            result = insert_copies(loop, partition, machine)
+            sp.set(body_copies=result.n_body_copies,
+                   preheader_copies=result.n_preheader_copies)
+            return result
     if machine.n_clusters != partition.n_banks:
         raise ValueError(
             f"partition has {partition.n_banks} banks but machine "

@@ -78,6 +78,8 @@ def greedy_partition(
     config: HeuristicConfig = DEFAULT_HEURISTIC,
     precolored: dict[SymbolicRegister, int] | None = None,
     slots_per_bank: int | None = None,
+    tracer: "object | None" = None,
+    metrics: "object | None" = None,
 ) -> Partition:
     """Assign every RCG node to a bank per the Figure-4 algorithm.
 
@@ -96,7 +98,23 @@ def greedy_partition(
     against incrementally-maintained bank sizes — O(V log V + E) overall.
     ``_reference_greedy_partition`` keeps the direct transcription for
     the golden-equivalence property tests.
+
+    ``tracer``/``metrics`` are the opt-in observability hooks
+    (:mod:`repro.obs`): one span around the whole sweep with the final
+    bank sizes, plus placement counters.  Both default to None and cost
+    nothing disabled; neither influences the assignment.
     """
+    if tracer is not None:
+        with tracer.span(
+            "greedy_partition", cat="substep",
+            nodes=len(rcg.nodes()), banks=n_banks,
+        ) as sp:
+            partition = greedy_partition(
+                rcg, n_banks, config, precolored=precolored,
+                slots_per_bank=slots_per_bank, metrics=metrics,
+            )
+            sp.set(bank_sizes=partition.bank_sizes())
+            return partition
     if n_banks < 1:
         raise ValueError("need at least one bank")
     partition = Partition(n_banks=n_banks)
@@ -138,6 +156,7 @@ def greedy_partition(
     adjacency = rcg.adjacency()
     assignment = partition.assignment  # rid -> bank, grows as we place
     sizes = partition.bank_sizes()     # then maintained incrementally
+    placed = 0
     for node in rcg.nodes_by_weight():
         if node.rid in assignment:
             continue
@@ -147,6 +166,10 @@ def greedy_partition(
         )
         partition.assign(node, bank)
         sizes[bank] += 1
+        placed += 1
+    if metrics is not None:
+        metrics.counter("greedy.placements").inc(placed)
+        metrics.counter("greedy.precolored").inc(len(precolored or ()))
     return partition
 
 

@@ -119,14 +119,30 @@ def register_partitioner(name: str):
 
 @register_partitioner("greedy")
 def _greedy(ctx: CompilationContext) -> Partition:
-    ctx.rcg = build_rcg_from_kernel(ctx.ideal, ctx.ddg, ctx.config.heuristic)
-    return greedy_partition(
+    tracer = ctx.tracer if ctx.tracer.enabled else None
+    registry = ctx.metrics_registry
+    if tracer is not None:
+        with tracer.span("build_rcg", cat="substep") as sp:
+            ctx.rcg = build_rcg_from_kernel(ctx.ideal, ctx.ddg, ctx.config.heuristic)
+            sp.set(nodes=len(ctx.rcg.nodes()), edges=ctx.rcg.n_edges)
+    else:
+        ctx.rcg = build_rcg_from_kernel(ctx.ideal, ctx.ddg, ctx.config.heuristic)
+    partition = greedy_partition(
         ctx.rcg,
         ctx.machine.n_clusters,
         ctx.config.heuristic,
         precolored=ctx.config.precolored,
         slots_per_bank=ctx.machine.fus_per_cluster * ctx.ideal.ii,
+        tracer=tracer,
+        metrics=registry,
     )
+    if registry is not None:
+        registry.gauge("rcg.nodes").set(len(ctx.rcg.nodes()))
+        registry.gauge("rcg.edges").set(ctx.rcg.n_edges)
+        registry.gauge("rcg.cut_weight").set(
+            ctx.rcg.cut_weight(partition.assignment)
+        )
+    return partition
 
 
 @register_partitioner("iterative")
@@ -241,7 +257,14 @@ class InsertCopies:
     name = "InsertCopies"
 
     def run(self, ctx: CompilationContext) -> None:
-        ctx.partitioned = insert_copies(ctx.current_loop, ctx.current_partition, ctx.machine)
+        ctx.partitioned = insert_copies(
+            ctx.current_loop, ctx.current_partition, ctx.machine,
+            tracer=ctx.tracer if ctx.tracer.enabled else None,
+        )
+        if ctx.metrics_registry is not None:
+            ctx.metrics_registry.counter("copies.inserted").inc(
+                ctx.partitioned.n_body_copies
+            )
 
 
 class ClusterReschedule:
@@ -270,6 +293,10 @@ class AssignBanks:
         outcome = assign_banks(
             ctx.kernel, ctx.partitioned_ddg, ctx.partitioned.partition, ctx.machine
         )
+        if ctx.metrics_registry is not None:
+            ctx.metrics_registry.counter("regalloc.attempts").inc()
+            if outcome.success:
+                ctx.metrics_registry.gauge("regalloc.unroll").set(outcome.unroll)
         if outcome.success:
             ctx.bank_assignment = outcome
         return outcome
@@ -319,6 +346,7 @@ class SpillRetryLoop:
     def _spill_and_repartition(self, ctx: CompilationContext, outcome) -> None:
         from repro.regalloc.spill import spill_registers
 
+        tracer = ctx.tracer if ctx.tracer.enabled else None
         # translate candidates back to the pre-partition loop: a spilled
         # copy register means its origin value is the one worth spilling
         translated: list = []
@@ -328,8 +356,13 @@ class SpillRetryLoop:
             if origin.rid not in seen_rids:
                 seen_rids.add(origin.rid)
                 translated.append(origin)
-        ctx.current_loop, n_spilled = spill_registers(ctx.current_loop, translated, ctx.machine)
+        ctx.current_loop, n_spilled = spill_registers(
+            ctx.current_loop, translated, ctx.machine, tracer=tracer
+        )
         ctx.spilled_total += n_spilled
+        if ctx.metrics_registry is not None:
+            ctx.metrics_registry.counter("spill.rounds").inc()
+            ctx.metrics_registry.counter("spill.spilled_registers").inc(n_spilled)
 
         # re-partition the rewritten loop from scratch, through the same
         # scheduler closure and with the same greedy knobs as round one
@@ -342,6 +375,8 @@ class SpillRetryLoop:
             ctx.config.heuristic,
             precolored=ctx.config.precolored,
             slots_per_bank=ctx.machine.fus_per_cluster * sideal.ii,
+            tracer=tracer,
+            metrics=ctx.metrics_registry,
         )
 
 
@@ -422,6 +457,29 @@ class ComputeMetrics:
             spilled_registers=ctx.spilled_total,
             sim_checked=ctx.sim_checked,
         )
+        registry = ctx.metrics_registry
+        if registry is not None:
+            m = ctx.metrics
+            for name, value in (
+                ("loop.n_ops", m.n_ops),
+                ("loop.kernel_ops", m.n_kernel_ops),
+                ("ideal.ii", m.ideal_ii),
+                ("ideal.min_ii", m.ideal_min_ii),
+                ("ideal.rec_ii", m.ideal_rec_ii),
+                ("ideal.res_ii", m.ideal_res_ii),
+                ("ideal.ipc", m.ideal_ipc),
+                ("partitioned.ii", m.partitioned_ii),
+                ("partitioned.min_ii", m.partitioned_min_ii),
+                ("partitioned.ipc", m.partitioned_ipc),
+                ("partitioned.normalized_kernel", m.normalized_kernel),
+                ("copies.body", m.n_body_copies),
+                ("copies.preheader", m.n_preheader_copies),
+                ("rcg.components", m.n_components),
+                ("partition.registers", m.n_registers),
+                ("regalloc.max_pressure", m.max_bank_pressure),
+                ("spill.registers", m.spilled_registers),
+            ):
+                registry.gauge(name).set(value)
 
 
 def default_passes(config: "object | None" = None) -> list[Pass]:

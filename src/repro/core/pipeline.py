@@ -79,6 +79,9 @@ class CompilationResult:
     #: or its spill-rewritten successor after spill rounds.  The
     #: cross-stage oracles (repro.check) count communication demand on it.
     precopy_loop: Loop | None = None
+    #: snapshot of the per-compilation MetricsRegistry (repro.obs) when
+    #: metrics collection was requested; None otherwise
+    compile_metrics: dict | None = None
 
 
 def compile_loop(
@@ -86,19 +89,47 @@ def compile_loop(
     machine: MachineDescription,
     config: PipelineConfig = PipelineConfig(),
     cache: ArtifactCache | None = None,
+    tracer: "object | None" = None,
+    metrics: "object | bool | None" = None,
 ) -> CompilationResult:
     """Compile ``loop`` for the clustered ``machine``; see module docs.
 
     Thin wrapper over the default :class:`~repro.core.passes
     .PassPipeline`; kept so every historical call site (CLI, benchmarks,
     evalx, examples) works unchanged.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records hierarchical spans
+    for every pass and opt-in sub-step; ``metrics`` — ``True`` for a
+    fresh :class:`repro.obs.MetricsRegistry` or an existing registry —
+    collects typed compile metrics, snapshotted into the result's
+    ``compile_metrics``.  Both default to disabled and change nothing
+    about the compilation itself.
     """
     if not machine.is_clustered:
         raise ValueError("compile_loop targets clustered machines; "
                          "use modulo_schedule directly for the ideal model")
 
+    registry = None
+    if metrics is not None and metrics is not False:
+        if metrics is True:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        else:
+            registry = metrics
+
     ctx = CompilationContext(loop=loop, machine=machine, config=config, cache=cache)
+    if tracer is not None:
+        ctx.tracer = tracer
+    ctx.metrics_registry = registry
+    cache_stats0 = (
+        (cache.stats.hits, cache.stats.misses)
+        if registry is not None and cache is not None else None
+    )
     PassPipeline(default_passes(config)).run(ctx)
+    if cache_stats0 is not None:
+        registry.counter("cache.hits").inc(cache.stats.hits - cache_stats0[0])
+        registry.counter("cache.misses").inc(cache.stats.misses - cache_stats0[1])
     return CompilationResult(
         loop=ctx.loop,
         machine=ctx.machine,
@@ -113,4 +144,5 @@ def compile_loop(
         bank_assignment=ctx.bank_assignment,
         pass_seconds=ctx.pass_seconds(),
         precopy_loop=ctx.current_loop,
+        compile_metrics=registry.snapshot() if registry is not None else None,
     )

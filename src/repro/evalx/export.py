@@ -105,3 +105,53 @@ def run_to_json(run: EvalRun) -> str:
             "copy_unit_zero": fig.copy_unit_zero,
         }
     return json.dumps(doc, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Compile-metrics export (repro.obs, ``repro evaluate --metrics-out``)
+# ----------------------------------------------------------------------
+
+
+def aggregate_metrics(run: EvalRun) -> dict:
+    """Corpus-wide aggregate of the run's per-cell metric snapshots.
+
+    Counters sum; gauges and histograms fold into count/min/max/mean —
+    see :func:`repro.obs.merge_snapshots`.  Empty run → empty aggregate
+    (``cells: 0``).  Cells fold in the deterministic table order, not
+    dict-insertion order, so the float means are bit-identical across
+    serial, parallel and resumed executions.
+    """
+    from repro.obs.metrics import merge_snapshots
+
+    label_order = {label: i for i, label in enumerate(run.config_labels())}
+    keys = sorted(
+        run.cell_metrics, key=lambda k: (label_order.get(k[1], len(label_order)), k[0])
+    )
+    return merge_snapshots(run.cell_metrics[k] for k in keys)
+
+
+def run_metrics_json(run: EvalRun) -> str:
+    """The ``--metrics-out`` document: aggregate + every cell snapshot.
+
+    Cells are ordered configuration-major/loop-minor — the same
+    deterministic order as the tables — so the file is byte-identical
+    across serial, parallel and resumed executions of the same run.
+    """
+    label_order = {label: i for i, label in enumerate(run.config_labels())}
+    cells = []
+    for (loop_index, config) in sorted(
+        run.cell_metrics, key=lambda k: (label_order.get(k[1], len(label_order)), k[0])
+    ):
+        snapshot = run.cell_metrics[(loop_index, config)]
+        cells.append({
+            "loop_index": loop_index,
+            "config": config,
+            **snapshot,
+        })
+    doc = {
+        "schema": "repro-compile-metrics/1",
+        "jobs": run.jobs,
+        "aggregate": aggregate_metrics(run),
+        "cells": cells,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

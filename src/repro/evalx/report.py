@@ -30,6 +30,30 @@ def render_failures(failures: list[LoopFailure]) -> str:
     return "\n".join(lines)
 
 
+def render_metrics_summary(aggregate: dict) -> str:
+    """Corpus-wide compile-metrics digest (``--metrics-out`` companion).
+
+    ``aggregate`` is :func:`repro.evalx.export.aggregate_metrics` output:
+    summed counters plus folded gauge statistics over every compiled
+    cell.  Shown after the tables when metrics collection was on.
+    """
+    lines = [f"Compile metrics ({aggregate.get('cells', 0)} cells):"]
+    counters = aggregate.get("counters", {})
+    if counters:
+        lines.append("  counters (summed):")
+        for name, value in sorted(counters.items()):
+            lines.append(f"    {name:<28s} {value}")
+    gauges = aggregate.get("gauges", {})
+    if gauges:
+        lines.append("  gauges (per-cell mean [min, max]):")
+        for name, stats in sorted(gauges.items()):
+            lines.append(
+                f"    {name:<28s} {stats['mean']:.3f} "
+                f"[{stats['min']:g}, {stats['max']:g}]"
+            )
+    return "\n".join(lines)
+
+
 def render_full_report(run: EvalRun, corpus_note: str = "") -> str:
     t1 = compute_table1(run)
     t2 = compute_table2(run)

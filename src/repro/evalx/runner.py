@@ -43,6 +43,7 @@ import math
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.cache import ArtifactCache
@@ -53,6 +54,8 @@ from repro.evalx.checkpoint import Cell, CellKey, CheckpointLog, CheckpointMisma
 from repro.ir.block import Loop
 from repro.machine.machine import CopyModel, MachineDescription
 from repro.machine.presets import paper_machine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.workloads.corpus import spec95_corpus
 
 #: the paper's column order: (clusters, copy model) pairs of Tables 1-2
@@ -89,6 +92,10 @@ class EvalRun:
     timeout_seconds: float | None = None
     #: cells served from a resume checkpoint instead of compiled
     resumed_cells: int = 0
+    #: per-cell MetricsRegistry snapshots (``collect_metrics=True``);
+    #: keyed like the checkpoint grid, ``{"loop": name, **snapshot}``.
+    #: Covers only cells compiled by this run, never resumed ones.
+    cell_metrics: dict[CellKey, dict] = field(default_factory=dict)
 
     def config_labels(self) -> list[str]:
         # per_config is populated in the requested configuration order, so
@@ -116,11 +123,16 @@ def _compile_cell(
     pipeline_config: PipelineConfig,
     cache: ArtifactCache,
     timeout: float | None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ):
     """Compile one cell under the wall-clock budget (and fault fixture)."""
     with deadline(timeout):
         maybe_inject_fault(loop.name)
-        return compile_loop(loop, machine, pipeline_config, cache=cache)
+        return compile_loop(
+            loop, machine, pipeline_config, cache=cache,
+            tracer=tracer, metrics=metrics,
+        )
 
 
 def _failure_cell(
@@ -156,6 +168,8 @@ def run_evaluation(
     cache: ArtifactCache | None = None,
     timeout: float | None = None,
     checkpoint: CheckpointLog | None = None,
+    tracer: Tracer | None = None,
+    collect_metrics: bool = False,
 ) -> EvalRun:
     """Run the corpus through the pipeline for each configuration.
 
@@ -175,6 +189,17 @@ def run_evaluation(
     timing, pass and cache statistics then cover only the work actually
     performed, while metrics and failures merge byte-identically with an
     uninterrupted run's.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one span tree per
+    compiled cell; the parallel path records spans in worker-local
+    tracers and merges them back keyed by (loop id, configuration), so
+    serial and parallel runs yield the same span identities.  Cells
+    already present in a resume checkpoint are never recompiled, hence
+    emit no spans — a resumed run never duplicates a cell's trace.
+    ``collect_metrics=True`` attaches a fresh
+    :class:`~repro.obs.MetricsRegistry` to each compilation and stores
+    the snapshots in ``run.cell_metrics``.  Neither affects metrics,
+    failures or table output.
     """
     loops = loops if loops is not None else spec95_corpus()
     pipeline_config = config if config is not None else PipelineConfig(run_regalloc=False)
@@ -196,16 +221,17 @@ def run_evaluation(
     for (n_clusters, model), label in zip(configs, labels):
         run.machines[label] = paper_machine(n_clusters, model)
 
+    obs_tracer = tracer if tracer is not None and tracer.enabled else None
     t0 = time.time()
     if jobs > 1:
         _fill_parallel(
             run, cells, loops, pipeline_config, configs, jobs, progress,
-            timeout, checkpoint,
+            timeout, checkpoint, obs_tracer, collect_metrics,
         )
     else:
         _fill_serial(
             run, cells, loops, pipeline_config, configs, progress, cache,
-            timeout, checkpoint,
+            timeout, checkpoint, obs_tracer, collect_metrics,
         )
 
     # deterministic assembly: configuration-major, loop-minor — the order
@@ -249,6 +275,8 @@ def _fill_serial(
     cache: ArtifactCache | None,
     timeout: float | None,
     checkpoint: CheckpointLog | None,
+    tracer: Tracer | None = None,
+    collect_metrics: bool = False,
 ) -> None:
     shared_cache = cache if cache is not None else ArtifactCache()
     hits0, misses0 = shared_cache.stats.hits, shared_cache.stats.misses
@@ -258,15 +286,26 @@ def _fill_serial(
         for i, loop in enumerate(loops):
             if (i, label) in cells:
                 continue
-            try:
-                result = _compile_cell(
-                    loop, run.machines[label], pipeline_config, shared_cache, timeout
-                )
-            except Exception as exc:
-                cell = _failure_cell(i, label, loop, exc, attempts=1)
-            else:
-                cell = Cell(loop_index=i, config=label, metrics=result.metrics)
-                _merge_pass_seconds(run.pass_seconds, result.pass_seconds)
+            registry = MetricsRegistry() if collect_metrics else None
+            scope = (
+                tracer.cell(i, label, loop_name=loop.name)
+                if tracer is not None else nullcontext()
+            )
+            with scope:
+                try:
+                    result = _compile_cell(
+                        loop, run.machines[label], pipeline_config,
+                        shared_cache, timeout, tracer=tracer, metrics=registry,
+                    )
+                except Exception as exc:
+                    cell = _failure_cell(i, label, loop, exc, attempts=1)
+                else:
+                    cell = Cell(loop_index=i, config=label, metrics=result.metrics)
+                    _merge_pass_seconds(run.pass_seconds, result.pass_seconds)
+            if registry is not None:
+                run.cell_metrics[(i, label)] = {
+                    "loop": loop.name, **registry.snapshot()
+                }
             _record(cells, checkpoint, cell)
             compiled += 1
             if progress and compiled % 50 == 0:
@@ -283,7 +322,8 @@ def _fill_serial(
 
 #: one unit of pool work: ([(loop index, loop), ...], configs, pipeline
 #: config, per-cell timeout, cell keys to skip, attempt number stamped
-#: into failures produced by this payload.
+#: into failures produced by this payload, and the two observability
+#: flags (record spans / collect per-cell metrics).
 _Payload = tuple[
     list[tuple[int, Loop]],
     tuple[tuple[int, CopyModel], ...],
@@ -291,12 +331,19 @@ _Payload = tuple[
     float | None,
     frozenset[CellKey],
     int,
+    bool,
+    bool,
+]
+
+#: what one worker returns: cells, cache hits/misses, pass wall time,
+#: recorded spans and per-cell metric snapshots (empty when disabled).
+_ChunkResult = tuple[
+    list[Cell], int, int, dict[str, float],
+    list[Span], list[tuple[CellKey, dict]],
 ]
 
 
-def _compile_chunk(
-    payload: _Payload,
-) -> tuple[list[Cell], int, int, dict[str, float]]:
+def _compile_chunk(payload: _Payload) -> _ChunkResult:
     """Worker: compile a chunk of loops across every configuration.
 
     Machines are rebuilt locally (a ``MachineDescription`` holds a
@@ -306,29 +353,51 @@ def _compile_chunk(
     per-cell deadline runs *here*, in the worker's main thread, so a
     hung compilation degrades to a ``timeout`` cell instead of stalling
     the whole run.
+
+    Observability rides along the same way: spans land in a worker-local
+    :class:`~repro.obs.Tracer` whose plain-dataclass spans pickle back
+    with the result, and each cell's metric snapshot is a plain dict.
+    Span identity is (loop id, config, seq)-based, so merging worker
+    traces reproduces the serial trace exactly.
     """
-    chunk, configs, pipeline_config, timeout, skip, attempt = payload
+    chunk, configs, pipeline_config, timeout, skip, attempt, trace, metrics = payload
     cache = ArtifactCache()
     machines = {
         config_label(n, model): paper_machine(n, model) for n, model in configs
     }
+    tracer = Tracer() if trace else None
     cells: list[Cell] = []
     pass_seconds: dict[str, float] = {}
+    cell_metrics: list[tuple[CellKey, dict]] = []
     for idx, loop in chunk:
         for n_clusters, model in configs:
             label = config_label(n_clusters, model)
             if (idx, label) in skip:
                 continue
-            try:
-                result = _compile_cell(
-                    loop, machines[label], pipeline_config, cache, timeout
+            registry = MetricsRegistry() if metrics else None
+            scope = (
+                tracer.cell(idx, label, loop_name=loop.name)
+                if tracer is not None else nullcontext()
+            )
+            with scope:
+                try:
+                    result = _compile_cell(
+                        loop, machines[label], pipeline_config, cache,
+                        timeout, tracer=tracer, metrics=registry,
+                    )
+                except Exception as exc:
+                    cells.append(_failure_cell(idx, label, loop, exc, attempt))
+                    result = None
+            if registry is not None:
+                cell_metrics.append(
+                    ((idx, label), {"loop": loop.name, **registry.snapshot()})
                 )
-            except Exception as exc:
-                cells.append(_failure_cell(idx, label, loop, exc, attempt))
+            if result is None:
                 continue
             cells.append(Cell(loop_index=idx, config=label, metrics=result.metrics))
             _merge_pass_seconds(pass_seconds, result.pass_seconds)
-    return cells, cache.stats.hits, cache.stats.misses, pass_seconds
+    spans = tracer.spans if tracer is not None else []
+    return cells, cache.stats.hits, cache.stats.misses, pass_seconds, spans, cell_metrics
 
 
 def _fill_parallel(
@@ -341,6 +410,8 @@ def _fill_parallel(
     progress: bool,
     timeout: float | None,
     checkpoint: CheckpointLog | None,
+    tracer: Tracer | None = None,
+    collect_metrics: bool = False,
 ) -> None:
     labels = [config_label(n, m) for n, m in configs]
     indexed = [
@@ -359,13 +430,17 @@ def _fill_parallel(
     chunk_size = max(1, math.ceil(len(indexed) / (jobs * 4)))
     chunks = [indexed[i:i + chunk_size] for i in range(0, len(indexed), chunk_size)]
 
-    def absorb(result: tuple[list[Cell], int, int, dict[str, float]]) -> None:
-        chunk_cells, hits, misses, pass_seconds = result
+    def absorb(result: _ChunkResult) -> None:
+        chunk_cells, hits, misses, pass_seconds, spans, chunk_metrics = result
         for cell in chunk_cells:
             _record(cells, checkpoint, cell)
         run.cache_hits += hits
         run.cache_misses += misses
         _merge_pass_seconds(run.pass_seconds, pass_seconds)
+        if tracer is not None:
+            tracer.add_spans(spans)
+        for key, snapshot in chunk_metrics:
+            run.cell_metrics[key] = snapshot
 
     # Phase 1: every chunk as one future.  A worker death (or a payload/
     # result that will not pickle) fails the futures sharing its pool
@@ -375,7 +450,8 @@ def _fill_parallel(
         futures: dict[Future, list[tuple[int, Loop]]] = {}
         for chunk in chunks:
             payload: _Payload = (
-                chunk, configs, pipeline_config, timeout, skip_for(chunk), 1
+                chunk, configs, pipeline_config, timeout, skip_for(chunk), 1,
+                tracer is not None, collect_metrics,
             )
             futures[pool.submit(_compile_chunk, payload)] = chunk
         done = 0
@@ -410,7 +486,8 @@ def _fill_parallel(
             for idx, loop in chunk:
                 single = [(idx, loop)]
                 payload = (
-                    single, configs, pipeline_config, timeout, skip_for(single), 2
+                    single, configs, pipeline_config, timeout, skip_for(single), 2,
+                    tracer is not None, collect_metrics,
                 )
                 try:
                     absorb(pool.submit(_compile_chunk, payload).result())

@@ -1,0 +1,41 @@
+"""Zero-dependency observability layer: tracing + compile metrics.
+
+See :mod:`repro.obs.trace` (hierarchical spans, JSONL / Chrome
+trace-event export) and :mod:`repro.obs.metrics` (typed counters,
+gauges and histograms with cross-process snapshot merging).  Both are
+off by default; the pipeline threads them through
+``compile_loop(..., tracer=, metrics=)`` and
+``run_evaluation(..., tracer=, collect_metrics=)``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricTypeError,
+    merge_snapshots,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    export_trace,
+    trace_format_for,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricTypeError",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "export_trace",
+    "trace_format_for",
+]

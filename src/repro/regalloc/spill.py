@@ -25,14 +25,23 @@ def spill_registers(
     loop: Loop,
     candidates: list[SymbolicRegister],
     machine: MachineDescription,
+    tracer: "object | None" = None,
 ) -> tuple[Loop, int]:
     """Return a rewritten copy of ``loop`` with ``candidates`` spilled and
     the number of registers actually spilled.
 
     Candidates without a defining operation in the body are skipped; if
     nothing can be spilled a ``RuntimeError`` is raised (retrying would
-    loop forever).
+    loop forever).  ``tracer`` (opt-in :mod:`repro.obs` hook, None =
+    disabled) records one span with the candidate/spilled counts.
     """
+    if tracer is not None:
+        with tracer.span(
+            "spill_registers", cat="substep", candidates=len(candidates)
+        ) as sp:
+            rewritten, n_spilled = spill_registers(loop, candidates, machine)
+            sp.set(spilled=n_spilled)
+            return rewritten, n_spilled
     defined = {op.dest.rid for op in loop.ops if op.dest is not None}
     to_spill = [r for r in candidates if r.rid in defined]
     if not to_spill:

@@ -45,6 +45,12 @@ class ModuloScheduler:
     machine: MachineDescription
     budget_ratio: int = DEFAULT_BUDGET_RATIO
     max_ii: int | None = None
+    #: opt-in observability hooks (repro.obs): a tracer records one span
+    #: per II attempt (with its backtrack count), a metrics registry
+    #: accumulates attempt/backtrack counters; both None by default so
+    #: the hot path pays nothing when disabled
+    tracer: "object | None" = None
+    metrics: "object | None" = None
 
     #: filled by the last ``schedule`` call, for instrumentation/benches
     stats: dict = field(default_factory=dict)
@@ -65,9 +71,16 @@ class ModuloScheduler:
             )
 
         attempts = 0
+        evictions_total = 0
         for ii in range(start_ii, cap + 1):
             attempts += 1
-            times = self._try_ii(ddg, ii)
+            if self.tracer is not None:
+                with self.tracer.span("ims_attempt", cat="substep", ii=ii) as sp:
+                    times, evictions = self._try_ii(ddg, ii)
+                    sp.set(scheduled=times is not None, backtracks=evictions)
+            else:
+                times, evictions = self._try_ii(ddg, ii)
+            evictions_total += evictions
             if times is not None:
                 self.stats = {
                     "res_ii": res_ii,
@@ -75,7 +88,12 @@ class ModuloScheduler:
                     "min_ii": start_ii,
                     "achieved_ii": ii,
                     "ii_attempts": attempts,
+                    "backtracks": evictions_total,
                 }
+                if self.metrics is not None:
+                    self.metrics.counter("sched.calls").inc()
+                    self.metrics.counter("sched.ii_attempts").inc(attempts)
+                    self.metrics.counter("sched.backtracks").inc(evictions_total)
                 return KernelSchedule(
                     machine=self.machine, loop=loop, ii=ii, times=times
                 )
@@ -85,11 +103,19 @@ class ModuloScheduler:
         )
 
     # ------------------------------------------------------------------
-    def _try_ii(self, ddg: DDG, ii: int) -> dict[int, int] | None:
+    def _try_ii(self, ddg: DDG, ii: int) -> tuple[dict[int, int] | None, int]:
+        """One scheduling attempt at ``ii``; returns (times, evictions).
+
+        ``evictions`` counts every scheduled operation displaced by a
+        force-place or a violated dependence — the "backtracks" the
+        tracer and metrics report.
+        """
+        evictions = 0
         try:
             heights = longest_path_heights(ddg, ii=ii)
         except ValueError:
-            return None  # positive cycle: II below RecII for this subgraph
+            # positive cycle: II below RecII for this subgraph
+            return None, evictions
 
         order_index = {op.op_id: i for i, op in enumerate(ddg.ops)}
         by_id = {op.op_id: op for op in ddg.ops}
@@ -137,6 +163,7 @@ class ModuloScheduler:
                     mrt.remove(by_id[victim_id])
                     del times[victim_id]
                     push(heap, by_id[victim_id])
+                    evictions += 1
                     if not mrt.fits(op, slot):
                         continue
                     break
@@ -154,12 +181,13 @@ class ModuloScheduler:
                     mrt.remove(dep.dst)
                     del times[dep.dst.op_id]
                     push(heap, dep.dst)
+                    evictions += 1
             # self-edges: placement at estart already satisfies them since
             # estart accounted for all scheduled predecessors including self
 
         if len(times) == len(ddg.ops):
-            return times
-        return None
+            return times, evictions
+        return None, evictions
 
 
 def modulo_schedule(
@@ -168,8 +196,11 @@ def modulo_schedule(
     machine: MachineDescription,
     budget_ratio: int = DEFAULT_BUDGET_RATIO,
     max_ii: int | None = None,
+    tracer: "object | None" = None,
+    metrics: "object | None" = None,
 ) -> KernelSchedule:
     """Software-pipeline ``loop`` onto ``machine``; see :class:`ModuloScheduler`."""
-    return ModuloScheduler(machine, budget_ratio=budget_ratio, max_ii=max_ii).schedule(
-        loop, ddg
-    )
+    return ModuloScheduler(
+        machine, budget_ratio=budget_ratio, max_ii=max_ii,
+        tracer=tracer, metrics=metrics,
+    ).schedule(loop, ddg)

@@ -43,11 +43,11 @@ def interrupt_after(monkeypatch, n_cells: int):
     real = pipeline_mod.compile_loop
     calls = {"n": 0}
 
-    def bomb(loop, machine, config, cache=None):
+    def bomb(loop, machine, config, cache=None, **obs):
         calls["n"] += 1
         if calls["n"] > n_cells:
             raise KeyboardInterrupt
-        return real(loop, machine, config, cache=cache)
+        return real(loop, machine, config, cache=cache, **obs)
 
     monkeypatch.setattr("repro.evalx.runner.compile_loop", bomb)
     return calls

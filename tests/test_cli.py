@@ -62,6 +62,56 @@ class TestEvaluateCommand:
         assert "Figure 5" in out and "Figure 7" in out
 
 
+class TestObservabilityFlags:
+    def test_evaluate_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["evaluate", "--quick", "6",
+                     "--trace", str(trace), "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "trace (chrome" in out
+        assert "Compile metrics (36 cells):" in out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"], "empty Chrome trace"
+        m = json.loads(metrics.read_text())
+        assert m["schema"] == "repro-compile-metrics/1"
+        assert m["aggregate"]["cells"] == 36 and len(m["cells"]) == 36
+
+    def test_evaluate_trace_jsonl_with_jobs(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["evaluate", "--quick", "4", "--jobs", "2",
+                     "--trace", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        assert len(lines) > 24  # at least one span per cell
+        spans = [json.loads(line) for line in lines]
+        cells = {(s["loop_index"], s["config"]) for s in spans}
+        assert len(cells) == 24
+
+    def test_compile_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "compile.json"
+        assert main(["compile", "daxpy", "--trace", str(trace)]) == 0
+        assert "trace (chrome" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "compile_loop" in names and "IdealSchedule" in names
+
+    def test_unwritable_trace_path_fails_cleanly_and_early(self, tmp_path):
+        missing = tmp_path / "no_such_dir" / "trace.json"
+        with pytest.raises(SystemExit, match="cannot write trace file"):
+            main(["evaluate", "--quick", "4", "--trace", str(missing)])
+
+    def test_unwritable_metrics_path_fails_cleanly(self, tmp_path):
+        missing = tmp_path / "no_such_dir" / "m.json"
+        with pytest.raises(SystemExit, match="cannot write metrics file"):
+            main(["evaluate", "--quick", "4", "--metrics-out", str(missing)])
+
+
 class TestTuneCommand:
     def test_tune_small(self, capsys):
         assert main(["tune", "--trials", "2", "--loops", "4"]) == 0

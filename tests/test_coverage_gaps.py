@@ -125,11 +125,11 @@ class TestRunnerFailureRecording:
         real = pipeline_mod.compile_loop
         calls = {"n": 0}
 
-        def flaky(loop, machine, config, cache=None):
+        def flaky(loop, machine, config, cache=None, **obs):
             calls["n"] += 1
             if calls["n"] == 2:
                 raise RuntimeError("injected failure")
-            return real(loop, machine, config, cache=cache)
+            return real(loop, machine, config, cache=cache, **obs)
 
         monkeypatch.setattr("repro.evalx.runner.compile_loop", flaky)
         run = run_evaluation(loops=loops, configs=((2, CopyModel.EMBEDDED),))

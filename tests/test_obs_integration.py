@@ -1,0 +1,118 @@
+"""Observability under the parallel runner and checkpoint resume.
+
+Traces must merge deterministically across worker processes (same span
+identities as a serial run, keyed by loop id) and a resumed run must not
+re-emit spans for cells already served from the checkpoint."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.evalx.checkpoint import CheckpointLog
+from repro.evalx.report import render_full_report
+from repro.evalx.runner import PAPER_CONFIG_ORDER, config_label, run_evaluation
+from repro.obs import Tracer
+from repro.workloads.corpus import spec95_corpus
+
+CONFIG = PipelineConfig(run_regalloc=False)
+LABELS = [config_label(n, m) for n, m in PAPER_CONFIG_ORDER]
+
+
+def span_identities(tracer: Tracer) -> list[tuple]:
+    return sorted(s.identity() for s in tracer.spans)
+
+
+def root_cells(tracer: Tracer) -> list[tuple[int, str]]:
+    return [s.group_key() for s in tracer.spans if s.cat == "cell"]
+
+
+class TestParallelTraceEquivalence:
+    def test_serial_and_parallel_span_sets_identical(self):
+        loops = spec95_corpus(n=6)
+        serial_tracer, parallel_tracer = Tracer(), Tracer()
+        run_evaluation(loops=loops, config=CONFIG, tracer=serial_tracer)
+        run_evaluation(loops=loops, config=CONFIG, jobs=2,
+                       tracer=parallel_tracer)
+        assert span_identities(serial_tracer) == span_identities(parallel_tracer)
+        assert sorted(root_cells(serial_tracer)) == sorted(
+            (i, label) for i in range(len(loops)) for label in LABELS
+        )
+
+    def test_exactly_one_root_span_per_cell(self):
+        loops = spec95_corpus(n=5)
+        tracer = Tracer()
+        run_evaluation(loops=loops, config=CONFIG, jobs=3, tracer=tracer)
+        roots = root_cells(tracer)
+        assert len(roots) == len(set(roots)) == len(loops) * len(LABELS)
+
+    def test_disabled_tracer_records_nothing(self):
+        from repro.obs import NULL_TRACER
+
+        run = run_evaluation(loops=spec95_corpus(n=3), config=CONFIG,
+                             tracer=NULL_TRACER)
+        assert not run.failures  # and nothing blew up treating it as None
+
+
+class TestCheckpointResumeTracing:
+    @pytest.fixture()
+    def truncated_checkpoint(self, tmp_path):
+        """A full checkpoint cut down to its first 10 cells, simulating a
+        run that died mid-flight."""
+        loops = spec95_corpus(n=4)
+        full = tmp_path / "full.jsonl"
+        with CheckpointLog.fresh(full, loops, LABELS, CONFIG) as log:
+            run_evaluation(loops=loops, config=CONFIG, checkpoint=log)
+        lines = full.read_text().splitlines()
+        kept = lines[:1 + 10]  # header + 10 cells
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text("\n".join(kept) + "\n")
+        done = [json.loads(line) for line in kept[1:]]
+        done_keys = {(d["loop_index"], d["config"]) for d in done}
+        return loops, partial, done_keys
+
+    def test_resume_emits_spans_only_for_missing_cells(self, truncated_checkpoint):
+        loops, partial, done_keys = truncated_checkpoint
+        tracer = Tracer()
+        with CheckpointLog.resume(partial, loops, LABELS, CONFIG) as log:
+            run = run_evaluation(loops=loops, config=CONFIG, checkpoint=log,
+                                 tracer=tracer)
+        assert run.resumed_cells == len(done_keys)
+        all_keys = {(i, label) for i in range(len(loops)) for label in LABELS}
+        roots = root_cells(tracer)
+        assert len(roots) == len(set(roots)), "duplicate cell spans"
+        assert set(roots) == all_keys - done_keys
+
+    def test_resumed_tables_byte_identical_to_uninterrupted(self, truncated_checkpoint):
+        loops, partial, _done = truncated_checkpoint
+        clean = run_evaluation(loops=loops, config=CONFIG)
+        with CheckpointLog.resume(partial, loops, LABELS, CONFIG) as log:
+            resumed = run_evaluation(loops=loops, config=CONFIG, checkpoint=log,
+                                     tracer=Tracer(), jobs=2)
+        clean_report = render_full_report(clean)
+        resumed_report = render_full_report(resumed)
+        # only the wall-time line may differ
+        diff = [
+            (a, b)
+            for a, b in zip(clean_report.splitlines(), resumed_report.splitlines())
+            if a != b
+        ]
+        assert all("wall time" in a for a, _b in diff)
+
+
+class TestCheckpointMetrics:
+    def test_resume_collects_metrics_only_for_fresh_cells(self, tmp_path):
+        loops = spec95_corpus(n=3)
+        path = tmp_path / "ckpt.jsonl"
+        with CheckpointLog.fresh(path, loops, LABELS, CONFIG) as log:
+            first = run_evaluation(loops=loops[:3], config=CONFIG, checkpoint=log,
+                                   collect_metrics=True)
+        assert len(first.cell_metrics) == 3 * len(LABELS)
+        with CheckpointLog.resume(path, loops, LABELS, CONFIG) as log:
+            resumed = run_evaluation(loops=loops, config=CONFIG, checkpoint=log,
+                                     collect_metrics=True)
+        # everything was already recorded: no compilation, no snapshots
+        assert resumed.resumed_cells == 3 * len(LABELS)
+        assert resumed.cell_metrics == {}
+        assert render_full_report(resumed).splitlines()[5:] == \
+            render_full_report(first).splitlines()[5:]

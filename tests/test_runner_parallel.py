@@ -81,6 +81,44 @@ class TestCacheAccounting:
         assert all(v >= 0 for v in run.pass_seconds.values())
 
 
+class TestObservabilityAcrossWorkers:
+    def test_cell_metrics_identical_serial_vs_parallel(self):
+        loops = spec95_corpus(n=6)
+        serial = run_evaluation(loops=loops, config=CONFIG, collect_metrics=True)
+        parallel = run_evaluation(loops=loops, config=CONFIG, jobs=2,
+                                  collect_metrics=True)
+        assert serial.cell_metrics == parallel.cell_metrics
+        from repro.evalx.export import aggregate_metrics
+
+        assert aggregate_metrics(serial) == aggregate_metrics(parallel)
+
+    def test_metrics_off_by_default(self):
+        run = run_evaluation(loops=spec95_corpus(n=3), config=CONFIG, jobs=2)
+        assert run.cell_metrics == {}
+
+    def test_profile_works_with_jobs(self, capsys):
+        """--profile used to be a hard error under --jobs; it now profiles
+        the coordinator while per-pass/cache stats aggregate from workers."""
+        from repro.cli import main
+
+        assert main(["evaluate", "--quick", "4", "--jobs", "2", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "cProfile" in captured.out
+        assert "ideal-schedule cache:" in captured.out
+        assert "jobs=2" in captured.out
+        assert "aggregate from the workers" in captured.err
+
+    def test_parallel_pass_seconds_still_aggregate(self):
+        run = run_evaluation(loops=spec95_corpus(n=4), config=CONFIG, jobs=2,
+                             collect_metrics=True)
+        assert sum(run.pass_seconds.values()) > 0
+        agg_hits = sum(
+            snap["counters"].get("cache.hits", 0)
+            for snap in run.cell_metrics.values()
+        )
+        assert agg_hits == run.cache_hits
+
+
 class TestFailureRecording:
     def test_failure_recorded_per_config_and_excluded(self):
         good = spec95_corpus(n=4)
