@@ -32,10 +32,15 @@ DEFAULT_TOLERANCE = 0.25
 #: vs the pre-observability baseline — the "tracing is free when off"
 #: budget (see src/repro/obs)
 DEFAULT_OBS_TOLERANCE = 0.02
+#: required speedup of a fully-warm store-backed evaluation over the cold
+#: one — the artifact store's reason to exist (see src/repro/store); like
+#: the obs gate, this is an in-process ratio, stable across host speeds
+DEFAULT_STORE_SPEEDUP = 10.0
 
 
 def check(baseline: dict, current: dict, tolerance: float,
-          obs_tolerance: float = DEFAULT_OBS_TOLERANCE) -> tuple[bool, str]:
+          obs_tolerance: float = DEFAULT_OBS_TOLERANCE,
+          store_speedup: float = DEFAULT_STORE_SPEEDUP) -> tuple[bool, str]:
     base_score = baseline["normalized_score"]
     cur_score = current["normalized_score"]
     ratio = cur_score / base_score
@@ -82,6 +87,24 @@ def check(baseline: dict, current: dict, tolerance: float,
                 "tracing/metrics hooks must be free when off."
             )
             ok = False
+    # Store gate: a fully-warm store-backed evaluation must beat the cold
+    # one by the required factor.  Also an in-process ratio — the same
+    # host runs both legs back to back, so no calibration is needed.
+    store = current.get("store")
+    if store is not None:
+        speedup = store["warm_speedup"]
+        lines.append(
+            f"store: warm {store['warm_wall_seconds']:.3f}s vs cold "
+            f"{store['cold_wall_seconds']:.3f}s = {speedup:.1f}x "
+            f"({store['cells']} cells; required: {store_speedup:.0f}x)"
+        )
+        if speedup < store_speedup:
+            lines.append(
+                f"FAIL: warm store-backed evaluation is only {speedup:.1f}x "
+                f"faster than cold (required: {store_speedup:.0f}x); the "
+                "warm path must stay a metrics-only read per cell."
+            )
+            ok = False
     if ok:
         lines.append("OK: within tolerance")
     return ok, "\n".join(lines)
@@ -101,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"allowed slowdown of the disabled-"
                         f"instrumentation path (default "
                         f"{DEFAULT_OBS_TOLERANCE:.0%})")
+    parser.add_argument("--store-speedup", type=float,
+                        default=DEFAULT_STORE_SPEEDUP, metavar="FACTOR",
+                        help=f"required warm-over-cold speedup of the "
+                        f"artifact-store leg (default "
+                        f"{DEFAULT_STORE_SPEEDUP:.0f}x)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
@@ -114,7 +142,8 @@ def main(argv: list[str] | None = None) -> int:
             quick_n=cfg.get("quick", 40), repeats=cfg.get("repeats", 3)
         )
 
-    ok, report = check(baseline, current, args.tolerance, args.obs_tolerance)
+    ok, report = check(baseline, current, args.tolerance, args.obs_tolerance,
+                       args.store_speedup)
     print(report)
     return 0 if ok else 1
 

@@ -6,6 +6,8 @@
     python -m repro compile daxpy --clusters 4  # compile one loop, show artifacts
     python -m repro compile my_loop.ir --model copy_unit --sim
     python -m repro evaluate --quick 40         # Tables 1-2 + Figures 5-7
+    python -m repro evaluate --store .artifacts # incremental re-evaluation
+    python -m repro store stats .artifacts      # inspect the artifact store
     python -m repro check --fuzz 100 --seed 2026  # differential oracle fuzzing
     python -m repro tune --trials 10            # heuristic auto-tuning (Sec. 7)
 
@@ -55,6 +57,16 @@ def cmd_kernels(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(path: str):
+    """Open (initialising if needed) the artifact store at ``path``."""
+    from repro.store import ArtifactStore, StoreFormatError
+
+    try:
+        return ArtifactStore.open(path)
+    except StoreFormatError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
 def _open_obs_output(path: str, what: str):
     """Open an observability output file for writing, failing early and
     cleanly (before any compilation) when the path is unwritable."""
@@ -88,6 +100,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         run_regalloc=not args.no_regalloc,
         run_check=args.check,
     )
+    store = _open_store(args.store) if args.store else None
     tracer = trace_fh = None
     if args.trace:
         from repro.evalx.runner import config_label
@@ -97,11 +110,18 @@ def cmd_compile(args: argparse.Namespace) -> int:
         tracer = Tracer()
         with tracer.cell(0, config_label(args.clusters, model),
                          loop_name=loop.name):
-            result = compile_loop(loop, machine, config, tracer=tracer)
+            result = compile_loop(loop, machine, config, tracer=tracer,
+                                  store=store)
     else:
-        result = compile_loop(loop, machine, config)
+        result = compile_loop(loop, machine, config, store=store)
     m = result.metrics
 
+    if store is not None:
+        outcome = (
+            "hit (result rehydrated, pipeline skipped)"
+            if result.store_hit else "miss (compiled and stored)"
+        )
+        print(f"artifact store {store.path}: {outcome}", file=sys.stderr)
     if tracer is not None:
         _export_trace(tracer, args.trace, trace_fh)
     if args.timing:
@@ -210,6 +230,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print("note: with --jobs, cProfile covers the coordinating process; "
               "per-pass timings and cache stats aggregate from the workers",
               file=sys.stderr)
+    store = _open_store(args.store) if args.store else None
     profiler = None
     if profiling:
         import cProfile
@@ -226,6 +247,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
             tracer=tracer,
             collect_metrics=bool(args.metrics_out),
+            store=store,
         )
     finally:
         if profiler is not None:
@@ -235,6 +257,10 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     if run.resumed_cells:
         print(f"resumed {run.resumed_cells} completed cells from "
               f"{args.resume}", file=sys.stderr)
+    if store is not None:
+        print(f"artifact store {store.path}: {run.store_hits} hits, "
+              f"{run.store_misses} misses ({run.store_writes} written, "
+              f"{run.store_invalid} invalid)", file=sys.stderr)
     print(render_full_report(run))
     if metrics_fh is not None:
         from repro.evalx.export import aggregate_metrics, run_metrics_json
@@ -251,7 +277,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(_format_pass_timing(run.pass_seconds))
         lookups = run.cache_hits + run.cache_misses
         print(f"ideal-schedule cache: {run.cache_hits}/{lookups} hits "
-              f"({100 * run.cache_hit_rate:.1f}%), jobs={run.jobs}")
+              f"({100 * run.cache_hit_rate:.1f}%), "
+              f"{run.cache_evictions} evictions, jobs={run.jobs}")
+        if store is not None:
+            slookups = run.store_hits + run.store_misses
+            print(f"artifact store: {run.store_hits}/{slookups} hits "
+                  f"({100 * run.store_hit_rate:.1f}%), "
+                  f"{run.store_writes} written, {run.store_invalid} invalid")
     if profiler is not None:
         print(_format_profile(profiler))
         if args.profile_out:
@@ -307,6 +339,57 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     print(f"loop: {loop.name}   machine: {machine.describe()}")
     print(d.format())
     return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect and maintain an on-disk artifact store."""
+    from repro.store import DiskStore, StoreFormatError
+
+    try:
+        disk = DiskStore(args.dir)
+    except StoreFormatError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    if args.store_command == "stats":
+        s = disk.stats()
+        print(f"store: {disk.root}")
+        print(f"  entries: {s.entries}")
+        print(f"  size:    {s.total_bytes / 1024:.1f} KiB")
+        if s.invalid:
+            print(f"  unreadable files: {s.invalid}")
+        return 0
+
+    if args.store_command == "verify":
+        report = disk.verify()
+        print(f"store: {disk.root}")
+        print(f"  checked: {report.checked}")
+        if report.ok:
+            print("  all entries decode and match their content address")
+            return 0
+        for digest, reason in report.bad:
+            print(f"  BAD {digest[:16]}...: {reason}")
+        if args.repair:
+            for digest, _reason in report.bad:
+                disk.delete(digest)
+            print(f"  removed {len(report.bad)} bad entr"
+                  f"{'y' if len(report.bad) == 1 else 'ies'}")
+            return 0
+        print("  (re-run with --repair to remove them; the next evaluation "
+              "recompiles and rewrites the affected cells)")
+        return 1
+
+    if args.store_command == "gc":
+        if args.max_entries is None and args.max_age is None:
+            raise SystemExit(
+                "error: gc needs at least one of --max-entries / --max-age"
+            )
+        removed = disk.gc(max_entries=args.max_entries, max_age_days=args.max_age)
+        print(f"store: {disk.root}")
+        print(f"  removed {len(removed)} entr"
+              f"{'y' if len(removed) == 1 else 'ies'}, {len(disk)} remain")
+        return 0
+
+    raise SystemExit(f"error: unknown store command {args.store_command!r}")
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
@@ -376,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="T",
         help="print the pipeline fully expanded for T iterations",
     )
+    c.add_argument("--store", metavar="DIR",
+                   help="durable artifact store: serve this compilation "
+                        "from DIR when its full input fingerprint matches "
+                        "a stored entry, and store it otherwise")
     c.add_argument("--timing", action="store_true",
                    help="print per-pass wall times")
     c.add_argument("--trace", metavar="PATH",
@@ -419,6 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--metrics-out", metavar="PATH",
                    help="write per-cell + aggregate compile metrics "
                         "(counters/gauges/histograms) as JSON")
+    e.add_argument("--store", metavar="DIR",
+                   help="durable artifact store: answer unchanged "
+                        "(loop, config) cells from DIR and store fresh "
+                        "compilations, making re-evaluation incremental")
     e.set_defaults(func=cmd_evaluate)
 
     k = sub.add_parser(
@@ -449,6 +540,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="greedy",
     )
     d.set_defaults(func=cmd_diagnose)
+
+    s = sub.add_parser(
+        "store", help="inspect and maintain an on-disk artifact store"
+    )
+    ssub = s.add_subparsers(dest="store_command", required=True)
+    st = ssub.add_parser("stats", help="entry count and total size")
+    st.add_argument("dir", help="store directory")
+    sv = ssub.add_parser(
+        "verify",
+        help="decode every entry and recheck checksums + content addresses",
+    )
+    sv.add_argument("dir", help="store directory")
+    sv.add_argument("--repair", action="store_true",
+                    help="remove entries that fail verification")
+    sg = ssub.add_parser("gc", help="apply retention limits")
+    sg.add_argument("dir", help="store directory")
+    sg.add_argument("--max-entries", type=int, metavar="N",
+                    help="keep at most the N most recently written entries")
+    sg.add_argument("--max-age", type=float, metavar="DAYS",
+                    help="drop entries not rewritten in DAYS days")
+    s.set_defaults(func=cmd_store)
 
     t = sub.add_parser("tune", help="stochastic heuristic tuning (Section 7)")
     t.add_argument("--trials", type=int, default=10)

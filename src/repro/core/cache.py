@@ -18,43 +18,23 @@ treated as a miss and overwritten.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+# Fingerprint helpers historically lived here; they are now consolidated
+# in repro.core.fingerprint and re-exported for the many import sites.
+from repro.core.fingerprint import (  # noqa: F401  (re-exports)
+    latency_fingerprint,
+    loop_fingerprint,
+    scheduler_fingerprint,
+)
 from repro.ir.block import Loop
-from repro.ir.printer import format_loop
 from repro.machine.latency import LatencyTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.context import PipelineConfig
     from repro.ddg.graph import DDG
     from repro.sched.schedule import KernelSchedule
-
-
-def loop_fingerprint(loop: Loop) -> str:
-    """Stable content hash of a loop (name, body, boundary liveness).
-
-    Memoized on the loop: six configurations key the cache with the same
-    loop instance, and rendering + hashing the body text per lookup was a
-    measurable slice of small-corpus evaluations.
-    """
-    fp = loop._fingerprint
-    if fp is None:
-        text = format_loop(loop)
-        fp = hashlib.sha256(text.encode("utf-8")).hexdigest()
-        loop._fingerprint = fp
-    return fp
-
-
-def latency_fingerprint(latencies: LatencyTable) -> tuple:
-    """Order-independent fingerprint of a latency table."""
-    return tuple(sorted((cls.value, lat) for cls, lat in latencies.table.items()))
-
-
-def scheduler_fingerprint(config: "PipelineConfig", width: int) -> tuple:
-    """The scheduler knobs the ideal schedule depends on."""
-    return (config.scheduler, config.budget_ratio, width)
 
 
 @dataclass
@@ -139,11 +119,23 @@ class ArtifactCache:
 
         Used by :class:`~repro.core.passes.BuildDDG` so that the pair
         counts as one lookup (charged by the ideal-schedule pass), not two.
+
+        A present entry built from a *different* loop instance (the
+        identity guard) is stale — its artifacts reference operations the
+        caller does not hold — so it is dropped immediately rather than
+        left to shadow the key until the next :meth:`ideal_for`
+        overwrite.  Like the overwrite itself, that drop is a staleness
+        correction, not a capacity eviction, so it is not counted in
+        ``stats.evictions``.
         """
-        entry = self._entries.get(self.key_for(loop, latencies, config, width))
-        if entry is not None and entry.loop is loop:
-            return entry.ddg
-        return None
+        key = self.key_for(loop, latencies, config, width)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.loop is not loop:
+            del self._entries[key]
+            return None
+        return entry.ddg
 
     def ideal_for(
         self,

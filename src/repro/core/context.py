@@ -26,12 +26,14 @@ from repro.sched.modulo.scheduler import modulo_schedule
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cache import ArtifactCache
     from repro.core.copies import PartitionedLoop
+    from repro.core.fingerprint import StoreKey, StoreKeyPrefix
     from repro.core.greedy import Partition
     from repro.core.rcg import RegisterComponentGraph
     from repro.core.results import LoopMetrics
     from repro.ddg.graph import DDG
     from repro.obs.metrics import MetricsRegistry
     from repro.sched.schedule import KernelSchedule
+    from repro.store.tiered import ArtifactStore
 
 PartitionerName = Literal[
     "greedy", "iterative", "bug", "uas", "random", "round_robin", "single"
@@ -84,6 +86,19 @@ class CompilationContext:
     machine: MachineDescription
     config: PipelineConfig = field(default_factory=PipelineConfig)
     cache: "ArtifactCache | None" = None
+
+    # durable artifact store (repro.store): StoreLookup consults it before
+    # any compilation work, StoreWrite persists the final result.
+    # ``store_hydrate`` picks what a hit rebuilds: "full" (every artifact,
+    # for the CLI's emit/trace consumers) or "metrics" (just LoopMetrics —
+    # the evaluation runner's warm path).  ``store_prefix`` optionally
+    # carries the loop-independent key parts, computed once per
+    # configuration by the runner.
+    store: "ArtifactStore | None" = None
+    store_hydrate: Literal["full", "metrics"] = "full"
+    store_prefix: "StoreKeyPrefix | None" = None
+    store_key: "StoreKey | None" = None
+    store_hit: bool = False
 
     # step 1-2 artifacts (machine-independent given width + latencies)
     ddg: "DDG | None" = None

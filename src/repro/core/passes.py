@@ -6,7 +6,11 @@ Each of the paper's five steps is a :class:`Pass`: a named object whose
 per-pass wall time into the context's event log and short-circuits when a
 pass returns :data:`STOP` (or the context requests it).
 
-The default pipeline mirrors the monolithic driver this module replaced:
+The default pipeline mirrors the monolithic driver this module replaced,
+bracketed by the durable-store passes (:class:`StoreLookup` serves a
+stored result and short-circuits; :class:`StoreWrite` persists a fresh
+one; both are no-ops without an attached :class:`~repro.store
+.ArtifactStore`):
 
 1. :class:`BuildDDG`        — dependence graph of the input loop;
 2. :class:`IdealSchedule`   — modulo schedule on the monolithic machine;
@@ -186,6 +190,112 @@ def _single(ctx: CompilationContext) -> Partition:
 # ----------------------------------------------------------------------
 # Concrete passes
 # ----------------------------------------------------------------------
+
+
+class StoreLookup:
+    """Step 0: answer the whole compilation from the artifact store.
+
+    When the context carries an :class:`~repro.store.ArtifactStore`, the
+    full five-part content key (:func:`repro.core.fingerprint.store_key`)
+    is derived and looked up before any compilation work.  On a hit the
+    pipeline short-circuits; what gets rebuilt depends on
+    ``ctx.store_hydrate``:
+
+    * ``"metrics"`` — only :class:`~repro.core.results.LoopMetrics` is
+      materialised (the evaluation runner's warm path; parses a few
+      hundred bytes per cell);
+    * ``"full"`` — every artifact is rehydrated through the IR parser
+      round-trip, so downstream consumers (``--emit``, ``--expand``,
+      oracles run by hand) see a complete result.
+
+    An entry that decodes but fails hydration is rejected back to the
+    store (dropped + reclassified as an invalid miss) and compilation
+    proceeds normally — corruption degrades to a recompile, never an
+    error or a wrong artifact.
+    """
+
+    name = "StoreLookup"
+
+    def run(self, ctx: CompilationContext):
+        if ctx.store is None:
+            return None
+        from repro.core.fingerprint import store_key
+        from repro.store.entry import StoreEntryError
+
+        ctx.store_key = store_key(
+            ctx.loop, ctx.machine, ctx.config, prefix=ctx.store_prefix
+        )
+        entry = ctx.store.lookup(ctx.store_key)
+        if entry is None:
+            return None
+        try:
+            if ctx.store_hydrate == "metrics":
+                ctx.metrics = entry.metrics()
+            else:
+                self._fill(ctx, entry.hydrate(ctx.loop, ctx.machine))
+        except StoreEntryError:
+            ctx.store.reject(ctx.store_key)
+            return None
+        ctx.store_hit = True
+        return STOP
+
+    @staticmethod
+    def _fill(ctx: CompilationContext, result) -> None:
+        ctx.ddg = result.ddg
+        ctx.ideal = result.ideal
+        ctx.partition = result.partition
+        ctx.current_loop = result.precopy_loop
+        ctx.current_partition = result.partition
+        ctx.partitioned = result.partitioned
+        ctx.partitioned_ddg = result.partitioned_ddg
+        ctx.kernel = result.kernel
+        ctx.bank_assignment = result.bank_assignment
+        ctx.metrics = result.metrics
+        ctx.spilled_total = result.metrics.spilled_registers
+
+
+class StoreWrite:
+    """Final step: persist the compiled result into the artifact store.
+
+    Runs only when the pipeline actually compiled (no store hit) and
+    reached the end with full artifacts; any pass exception aborts the
+    pipeline before this point, so failed compilations are never stored.
+    """
+
+    name = "StoreWrite"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if (
+            ctx.store is None
+            or ctx.store_hit
+            or ctx.metrics is None
+            or ctx.kernel is None
+            or ctx.partitioned is None
+        ):
+            return
+        from repro.core.fingerprint import store_key
+        from repro.core.pipeline import CompilationResult
+
+        if ctx.store_key is None:
+            ctx.store_key = store_key(
+                ctx.loop, ctx.machine, ctx.config, prefix=ctx.store_prefix
+            )
+        result = CompilationResult(
+            loop=ctx.loop,
+            machine=ctx.machine,
+            ideal=ctx.ideal,
+            ddg=ctx.ddg,
+            rcg=ctx.rcg,
+            partition=ctx.current_partition,
+            partitioned=ctx.partitioned,
+            kernel=ctx.kernel,
+            partitioned_ddg=ctx.partitioned_ddg,
+            metrics=ctx.metrics,
+            bank_assignment=ctx.bank_assignment,
+            pass_seconds=ctx.pass_seconds(),
+            precopy_loop=ctx.current_loop,
+        )
+        ctx.store.put_result(ctx.store_key, result)
 
 
 class BuildDDG:
@@ -483,8 +593,11 @@ class ComputeMetrics:
 
 
 def default_passes(config: "object | None" = None) -> list[Pass]:
-    """The standard five-step pipeline (plus validation and distillation)."""
+    """The standard five-step pipeline (plus persistence, validation and
+    distillation).  The store passes are no-ops unless the context
+    carries an :class:`~repro.store.ArtifactStore`."""
     return [
+        StoreLookup(),
         BuildDDG(),
         IdealSchedule(),
         PartitionPass(),
@@ -492,4 +605,5 @@ def default_passes(config: "object | None" = None) -> list[Pass]:
         SimulateCheck(),
         CheckOracles(),
         ComputeMetrics(),
+        StoreWrite(),
     ]

@@ -82,6 +82,9 @@ class CompilationResult:
     #: snapshot of the per-compilation MetricsRegistry (repro.obs) when
     #: metrics collection was requested; None otherwise
     compile_metrics: dict | None = None
+    #: True when this result was served from the artifact store rather
+    #: than compiled; hydrated results carry no rcg/scheduler_stats
+    store_hit: bool = False
 
 
 def compile_loop(
@@ -91,6 +94,9 @@ def compile_loop(
     cache: ArtifactCache | None = None,
     tracer: "object | None" = None,
     metrics: "object | bool | None" = None,
+    store: "object | None" = None,
+    store_hydrate: str = "full",
+    store_prefix: "object | None" = None,
 ) -> CompilationResult:
     """Compile ``loop`` for the clustered ``machine``; see module docs.
 
@@ -104,6 +110,14 @@ def compile_loop(
     collects typed compile metrics, snapshotted into the result's
     ``compile_metrics``.  Both default to disabled and change nothing
     about the compilation itself.
+
+    ``store`` (a :class:`repro.store.ArtifactStore`) makes the
+    compilation durable: a stored result for the same content key is
+    served instead of running the pipeline (``result.store_hit``), and a
+    fresh compilation is written back.  ``store_hydrate`` picks how much
+    a hit rebuilds (``"full"`` artifacts, or just ``"metrics"``);
+    ``store_prefix`` optionally carries the loop-independent key parts
+    for callers compiling many loops against one configuration.
     """
     if not machine.is_clustered:
         raise ValueError("compile_loop targets clustered machines; "
@@ -118,7 +132,10 @@ def compile_loop(
         else:
             registry = metrics
 
-    ctx = CompilationContext(loop=loop, machine=machine, config=config, cache=cache)
+    ctx = CompilationContext(
+        loop=loop, machine=machine, config=config, cache=cache,
+        store=store, store_hydrate=store_hydrate, store_prefix=store_prefix,
+    )
     if tracer is not None:
         ctx.tracer = tracer
     ctx.metrics_registry = registry
@@ -126,10 +143,20 @@ def compile_loop(
         (cache.stats.hits, cache.stats.misses)
         if registry is not None and cache is not None else None
     )
+    store_stats0 = (
+        (store.stats.hits, store.stats.misses,
+         store.stats.invalid, store.stats.writes)
+        if registry is not None and store is not None else None
+    )
     PassPipeline(default_passes(config)).run(ctx)
     if cache_stats0 is not None:
         registry.counter("cache.hits").inc(cache.stats.hits - cache_stats0[0])
         registry.counter("cache.misses").inc(cache.stats.misses - cache_stats0[1])
+    if store_stats0 is not None:
+        registry.counter("store.hits").inc(store.stats.hits - store_stats0[0])
+        registry.counter("store.misses").inc(store.stats.misses - store_stats0[1])
+        registry.counter("store.invalid").inc(store.stats.invalid - store_stats0[2])
+        registry.counter("store.writes").inc(store.stats.writes - store_stats0[3])
     return CompilationResult(
         loop=ctx.loop,
         machine=ctx.machine,
@@ -145,4 +172,5 @@ def compile_loop(
         pass_seconds=ctx.pass_seconds(),
         precopy_loop=ctx.current_loop,
         compile_metrics=registry.snapshot() if registry is not None else None,
+        store_hit=ctx.store_hit,
     )

@@ -25,15 +25,18 @@ ignored on load; every complete line is self-contained.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterable
 
-from repro.core.cache import loop_fingerprint
 from repro.core.context import PipelineConfig
+# The run fingerprint (corpus content + configs + pipeline knobs) now
+# lives with the other content hashes in repro.core.fingerprint;
+# re-exported because this module historically defined it and the
+# checkpoint header format is still owned here.
+from repro.core.fingerprint import run_fingerprint  # noqa: F401
 from repro.core.results import LoopFailure, LoopMetrics
 from repro.ir.block import Loop
 
@@ -89,28 +92,6 @@ class Cell:
         )
 
 
-def run_fingerprint(
-    loops: Iterable[Loop], labels: Iterable[str], config: PipelineConfig
-) -> dict:
-    """Identity of one evaluation: corpus content, configs, pipeline.
-
-    The corpus digest chains each loop's content fingerprint in corpus
-    order, so reordering, dropping or editing any loop changes it.  The
-    pipeline digest hashes the config's stable dataclass ``repr`` (all
-    fields are scalars/dataclasses with deterministic reprs).
-    """
-    corpus = hashlib.sha256()
-    n_loops = 0
-    for loop in loops:
-        corpus.update(loop_fingerprint(loop).encode("ascii"))
-        n_loops += 1
-    return {
-        "version": CHECKPOINT_VERSION,
-        "corpus": corpus.hexdigest(),
-        "n_loops": n_loops,
-        "configs": list(labels),
-        "pipeline": hashlib.sha256(repr(config).encode("utf-8")).hexdigest(),
-    }
 
 
 class CheckpointLog:

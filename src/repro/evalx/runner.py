@@ -39,6 +39,7 @@ and the failure list are byte-identical across strategies.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import sys
 import time
@@ -46,8 +47,9 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
-from repro.core.cache import ArtifactCache
+from repro.core.cache import ArtifactCache, CacheStats
 from repro.core.faults import DeadlineExceeded, deadline, maybe_inject_fault
+from repro.core.fingerprint import StoreKeyPrefix, key_prefix
 from repro.core.pipeline import PipelineConfig, compile_loop
 from repro.core.results import LoopFailure, LoopMetrics
 from repro.evalx.checkpoint import Cell, CellKey, CheckpointLog, CheckpointMismatch
@@ -56,6 +58,7 @@ from repro.machine.machine import CopyModel, MachineDescription
 from repro.machine.presets import paper_machine
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer
+from repro.store.tiered import ArtifactStore, StoreStats
 from repro.workloads.corpus import spec95_corpus
 
 #: the paper's column order: (clusters, copy model) pairs of Tables 1-2
@@ -86,6 +89,14 @@ class EvalRun:
     jobs: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
+    #: durable artifact-store outcomes (``store=`` runs only): hits count
+    #: cells answered without compiling, misses count compiled-and-stored
+    #: cells, invalid counts corrupt/foreign entries degraded to misses
+    store_hits: int = 0
+    store_misses: int = 0
+    store_invalid: int = 0
+    store_writes: int = 0
     #: aggregate wall time per pass name, summed over every compilation
     pass_seconds: dict[str, float] = field(default_factory=dict)
     #: per-cell wall-clock budget (None = unbounded)
@@ -111,6 +122,22 @@ class EvalRun:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def store_hit_rate(self) -> float:
+        lookups = self.store_hits + self.store_misses
+        return self.store_hits / lookups if lookups else 0.0
+
+    def absorb_cache_stats(self, stats: CacheStats) -> None:
+        self.cache_hits += stats.hits
+        self.cache_misses += stats.misses
+        self.cache_evictions += stats.evictions
+
+    def absorb_store_stats(self, stats: StoreStats) -> None:
+        self.store_hits += stats.hits
+        self.store_misses += stats.misses
+        self.store_invalid += stats.invalid
+        self.store_writes += stats.writes
+
 
 def _merge_pass_seconds(into: dict[str, float], new: dict[str, float]) -> None:
     for name, seconds in new.items():
@@ -125,13 +152,21 @@ def _compile_cell(
     timeout: float | None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    store: ArtifactStore | None = None,
+    store_prefix: StoreKeyPrefix | None = None,
 ):
-    """Compile one cell under the wall-clock budget (and fault fixture)."""
+    """Compile one cell under the wall-clock budget (and fault fixture).
+
+    With a ``store``, hits hydrate metrics only — the runner never needs
+    the heavyweight artifacts, which is what keeps the warm path at a
+    two-line read per cell.
+    """
     with deadline(timeout):
         maybe_inject_fault(loop.name)
         return compile_loop(
             loop, machine, pipeline_config, cache=cache,
             tracer=tracer, metrics=metrics,
+            store=store, store_hydrate="metrics", store_prefix=store_prefix,
         )
 
 
@@ -170,6 +205,7 @@ def run_evaluation(
     checkpoint: CheckpointLog | None = None,
     tracer: Tracer | None = None,
     collect_metrics: bool = False,
+    store: ArtifactStore | None = None,
 ) -> EvalRun:
     """Run the corpus through the pipeline for each configuration.
 
@@ -200,6 +236,16 @@ def run_evaluation(
     :class:`~repro.obs.MetricsRegistry` to each compilation and stores
     the snapshots in ``run.cell_metrics``.  Neither affects metrics,
     failures or table output.
+
+    ``store`` (a :class:`repro.store.ArtifactStore`) makes the run
+    incremental: each cell's full content key is looked up before
+    compiling, hits are answered from disk (``run.store_hits``) and
+    fresh compilations are written back.  The serial path threads the
+    caller's store through every cell; parallel workers open the same
+    on-disk store independently (atomic entry writes make that safe) and
+    their outcome counters are merged into the run.  Stored metrics are
+    the same objects a compilation produces, so reports from warm runs
+    are identical to cold and store-less ones.
     """
     loops = loops if loops is not None else spec95_corpus()
     pipeline_config = config if config is not None else PipelineConfig(run_regalloc=False)
@@ -226,12 +272,12 @@ def run_evaluation(
     if jobs > 1:
         _fill_parallel(
             run, cells, loops, pipeline_config, configs, jobs, progress,
-            timeout, checkpoint, obs_tracer, collect_metrics,
+            timeout, checkpoint, obs_tracer, collect_metrics, store,
         )
     else:
         _fill_serial(
             run, cells, loops, pipeline_config, configs, progress, cache,
-            timeout, checkpoint, obs_tracer, collect_metrics,
+            timeout, checkpoint, obs_tracer, collect_metrics, store,
         )
 
     # deterministic assembly: configuration-major, loop-minor — the order
@@ -277,11 +323,19 @@ def _fill_serial(
     checkpoint: CheckpointLog | None,
     tracer: Tracer | None = None,
     collect_metrics: bool = False,
+    store: ArtifactStore | None = None,
 ) -> None:
     shared_cache = cache if cache is not None else ArtifactCache()
-    hits0, misses0 = shared_cache.stats.hits, shared_cache.stats.misses
+    cache0 = dataclasses.replace(shared_cache.stats)
+    store0 = dataclasses.replace(store.stats) if store is not None else None
     for n_clusters, model in configs:
         label = config_label(n_clusters, model)
+        # the loop-independent four fifths of the store key, once per
+        # configuration — warm cells then hash only the (memoized) loop
+        prefix = (
+            key_prefix(run.machines[label], pipeline_config)
+            if store is not None else None
+        )
         compiled = 0
         for i, loop in enumerate(loops):
             if (i, label) in cells:
@@ -296,6 +350,7 @@ def _fill_serial(
                     result = _compile_cell(
                         loop, run.machines[label], pipeline_config,
                         shared_cache, timeout, tracer=tracer, metrics=registry,
+                        store=store, store_prefix=prefix,
                     )
                 except Exception as exc:
                     cell = _failure_cell(i, label, loop, exc, attempts=1)
@@ -312,8 +367,19 @@ def _fill_serial(
                 print(f"  [{label}] {compiled}/{len(loops)}", file=sys.stderr)
         if progress:
             print(f"[{label}] done: {compiled} compiled", file=sys.stderr)
-    run.cache_hits = shared_cache.stats.hits - hits0
-    run.cache_misses = shared_cache.stats.misses - misses0
+    delta = dataclasses.replace(shared_cache.stats)
+    delta.hits -= cache0.hits
+    delta.misses -= cache0.misses
+    delta.evictions -= cache0.evictions
+    run.absorb_cache_stats(delta)
+    if store is not None:
+        sdelta = dataclasses.replace(store.stats)
+        sdelta.hits_l1 -= store0.hits_l1
+        sdelta.hits_l2 -= store0.hits_l2
+        sdelta.misses -= store0.misses
+        sdelta.invalid -= store0.invalid
+        sdelta.writes -= store0.writes
+        run.absorb_store_stats(sdelta)
 
 
 # ----------------------------------------------------------------------
@@ -322,8 +388,9 @@ def _fill_serial(
 
 #: one unit of pool work: ([(loop index, loop), ...], configs, pipeline
 #: config, per-cell timeout, cell keys to skip, attempt number stamped
-#: into failures produced by this payload, and the two observability
-#: flags (record spans / collect per-cell metrics).
+#: into failures produced by this payload, the two observability flags
+#: (record spans / collect per-cell metrics), and the artifact-store
+#: path (workers open the on-disk store independently; None = no store).
 _Payload = tuple[
     list[tuple[int, Loop]],
     tuple[tuple[int, CopyModel], ...],
@@ -333,12 +400,14 @@ _Payload = tuple[
     int,
     bool,
     bool,
+    str | None,
 ]
 
-#: what one worker returns: cells, cache hits/misses, pass wall time,
-#: recorded spans and per-cell metric snapshots (empty when disabled).
+#: what one worker returns: cells, the worker-local cache and store
+#: counters (plain picklable dataclasses; store counters None without a
+#: store), pass wall time, recorded spans and per-cell metric snapshots.
 _ChunkResult = tuple[
-    list[Cell], int, int, dict[str, float],
+    list[Cell], CacheStats, StoreStats | None, dict[str, float],
     list[Span], list[tuple[CellKey, dict]],
 ]
 
@@ -359,11 +428,23 @@ def _compile_chunk(payload: _Payload) -> _ChunkResult:
     with the result, and each cell's metric snapshot is a plain dict.
     Span identity is (loop id, config, seq)-based, so merging worker
     traces reproduces the serial trace exactly.
+
+    With a store path, the worker opens the shared on-disk store for
+    itself (stores hold open OS state and do not pickle); entry writes
+    are atomic and deterministic, so workers racing on the same key are
+    harmless, and the worker's outcome counters travel home in the
+    result for merging.
     """
-    chunk, configs, pipeline_config, timeout, skip, attempt, trace, metrics = payload
+    (chunk, configs, pipeline_config, timeout, skip, attempt, trace, metrics,
+     store_path) = payload
     cache = ArtifactCache()
+    store = ArtifactStore.open(store_path) if store_path is not None else None
     machines = {
         config_label(n, model): paper_machine(n, model) for n, model in configs
+    }
+    prefixes = {
+        label: key_prefix(machine, pipeline_config) if store is not None else None
+        for label, machine in machines.items()
     }
     tracer = Tracer() if trace else None
     cells: list[Cell] = []
@@ -384,6 +465,7 @@ def _compile_chunk(payload: _Payload) -> _ChunkResult:
                     result = _compile_cell(
                         loop, machines[label], pipeline_config, cache,
                         timeout, tracer=tracer, metrics=registry,
+                        store=store, store_prefix=prefixes[label],
                     )
                 except Exception as exc:
                     cells.append(_failure_cell(idx, label, loop, exc, attempt))
@@ -397,7 +479,8 @@ def _compile_chunk(payload: _Payload) -> _ChunkResult:
             cells.append(Cell(loop_index=idx, config=label, metrics=result.metrics))
             _merge_pass_seconds(pass_seconds, result.pass_seconds)
     spans = tracer.spans if tracer is not None else []
-    return cells, cache.stats.hits, cache.stats.misses, pass_seconds, spans, cell_metrics
+    store_stats = store.stats if store is not None else None
+    return cells, cache.stats, store_stats, pass_seconds, spans, cell_metrics
 
 
 def _fill_parallel(
@@ -412,7 +495,9 @@ def _fill_parallel(
     checkpoint: CheckpointLog | None,
     tracer: Tracer | None = None,
     collect_metrics: bool = False,
+    store: ArtifactStore | None = None,
 ) -> None:
+    store_path = store.path if store is not None else None
     labels = [config_label(n, m) for n, m in configs]
     indexed = [
         (i, loop)
@@ -431,11 +516,12 @@ def _fill_parallel(
     chunks = [indexed[i:i + chunk_size] for i in range(0, len(indexed), chunk_size)]
 
     def absorb(result: _ChunkResult) -> None:
-        chunk_cells, hits, misses, pass_seconds, spans, chunk_metrics = result
+        chunk_cells, cache_stats, store_stats, pass_seconds, spans, chunk_metrics = result
         for cell in chunk_cells:
             _record(cells, checkpoint, cell)
-        run.cache_hits += hits
-        run.cache_misses += misses
+        run.absorb_cache_stats(cache_stats)
+        if store_stats is not None:
+            run.absorb_store_stats(store_stats)
         _merge_pass_seconds(run.pass_seconds, pass_seconds)
         if tracer is not None:
             tracer.add_spans(spans)
@@ -451,7 +537,7 @@ def _fill_parallel(
         for chunk in chunks:
             payload: _Payload = (
                 chunk, configs, pipeline_config, timeout, skip_for(chunk), 1,
-                tracer is not None, collect_metrics,
+                tracer is not None, collect_metrics, store_path,
             )
             futures[pool.submit(_compile_chunk, payload)] = chunk
         done = 0
@@ -487,7 +573,7 @@ def _fill_parallel(
                 single = [(idx, loop)]
                 payload = (
                     single, configs, pipeline_config, timeout, skip_for(single), 2,
-                    tracer is not None, collect_metrics,
+                    tracer is not None, collect_metrics, store_path,
                 )
                 try:
                     absorb(pool.submit(_compile_chunk, payload).result())

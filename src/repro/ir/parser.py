@@ -33,7 +33,14 @@ _KV_RE = re.compile(r"(\w+)=(\S+)")
 _ARRAY_RE = re.compile(r"^([A-Za-z_]\w*)\[(\d+)?i(?:([+-])(\d+))?\]$")
 _INT_RE = re.compile(r"^[+-]?\d+$")
 _FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
-_REG_RE = re.compile(r"^[rf][A-Za-z0-9_]*\d[A-Za-z0-9_]*$|^[rf][A-Za-z0-9_]+$")
+# Register names may carry dot-separated suffixes minted by compiler
+# rewrites ("fa.c0" for a cluster copy, "r3.rl7_0" for a spill reload),
+# so that partitioned/spilled loops round-trip through the printer too —
+# the artifact store rehydrates stored compilations through this parser.
+_REG_RE = re.compile(
+    r"^[rf][A-Za-z0-9_]*\d[A-Za-z0-9_]*(?:\.[A-Za-z0-9_]+)*$"
+    r"|^[rf][A-Za-z0-9_]+(?:\.[A-Za-z0-9_]+)*$"
+)
 
 
 class IRParseError(ValueError):

@@ -1,0 +1,40 @@
+"""Durable content-addressed artifact store (tiered persistence).
+
+The paper's Section 6.2 observation makes compilation results pure
+functions of their inputs; :mod:`repro.core.fingerprint` turns those
+inputs into a five-part :class:`~repro.core.fingerprint.StoreKey`, and
+this package persists the *final* compilation result under the key's
+digest so any later run — same process, another worker, another day —
+answers the same compilation with a lookup instead of a pipeline run.
+
+Three tiers cooperate (see docs/architecture.md, "Persistence"):
+
+* **L0** — the per-process :class:`~repro.core.cache.ArtifactCache`
+  memoizing the machine-independent (DDG, ideal schedule) pair across
+  the six cluster configurations of one run;
+* **L1** — :class:`ArtifactStore`'s in-memory LRU of decoded
+  :class:`StoreEntry` objects, bounding repeated disk reads;
+* **L2** — :class:`DiskStore`, one self-describing file per key digest,
+  written atomically (temp + rename) so concurrent workers and readers
+  never observe partial entries.
+
+Entries never pickle live IR graphs: loops are stored as printer text
+and rehydrated through the parser round-trip, schedules positionally
+over the parsed operation list.  Every read revalidates schema version,
+checksums and the stored key, so corrupt or foreign entries degrade to
+a recorded miss (and a recompile), never a wrong answer.
+"""
+
+from repro.store.disk import DiskStore, StoreFormatError
+from repro.store.entry import SCHEMA_VERSION, StoreEntry, StoreEntryError
+from repro.store.tiered import ArtifactStore, StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "DiskStore",
+    "SCHEMA_VERSION",
+    "StoreEntry",
+    "StoreEntryError",
+    "StoreFormatError",
+    "StoreStats",
+]

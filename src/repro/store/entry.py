@@ -1,0 +1,370 @@
+"""Self-describing serialization of one final compilation result.
+
+One :class:`StoreEntry` is one (loop, machine, pipeline) compilation,
+filed under its :class:`~repro.core.fingerprint.StoreKey` digest.  The
+on-disk form is three JSON lines::
+
+    {"magic": "repro-store", "schema": 1, "key": {...},
+     "meta_sha256": ..., "payload_sha256": ...}
+    {"loop_name": ..., "metrics": {...}, "pass_seconds": {...}}
+    {"loop": "...", "ideal": {...}, "partitioned": {...}, ...}
+
+The split is deliberate: the warm evaluation path needs only line 2
+(metrics), so it parses a few hundred bytes per cell and leaves the
+artifact payload untouched; ``repro compile --store`` hydrates line 3
+into a full :class:`~repro.core.pipeline.CompilationResult`.  Both
+lines carry checksums in the header, so a truncated or bit-flipped
+entry raises :class:`StoreEntryError` — which every consumer treats as
+a miss — instead of producing a wrong artifact.
+
+No live :class:`~repro.ir.operations.Operation` graph is ever pickled:
+loops are serialized as :func:`~repro.ir.printer.format_loop` text and
+rehydrated through :func:`~repro.ir.parser.parse_loop` (the same
+round-trip ``repro check`` reproducers exercise), and schedules are
+stored positionally over the loop's operation list, so entries are
+stable across processes, platforms and interpreter versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+from repro.core.fingerprint import StoreKey, loop_fingerprint
+from repro.core.results import LoopMetrics
+from repro.ir.block import Loop
+from repro.ir.printer import format_loop
+from repro.ir.registers import SymbolicRegister
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import CompilationResult
+    from repro.machine.machine import MachineDescription
+
+#: bump when the entry layout changes; readers reject other versions
+SCHEMA_VERSION = 1
+
+_MAGIC = "repro-store"
+
+
+class StoreEntryError(ValueError):
+    """An entry is corrupt, foreign, or from an incompatible schema."""
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _dumps(doc: dict) -> bytes:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def registers_by_name(loop: Loop) -> dict[str, SymbolicRegister]:
+    """Every register a loop mentions (ops + boundary liveness), by name.
+
+    Names are unique within a loop (the factory enforces it), so this is
+    the bridge between serialized register references and the registers
+    of a freshly parsed loop instance.
+    """
+    regs: dict[str, SymbolicRegister] = {}
+    for reg in loop.live_in | loop.live_out:
+        regs[reg.name] = reg
+    for op in loop.ops:
+        if op.dest is not None:
+            regs[op.dest.name] = op.dest
+        for src in op.used():
+            regs[src.name] = src
+    return regs
+
+
+def _partition_doc(partition) -> dict:
+    by_rid = dict(partition._registers)
+    return {
+        "n_banks": partition.n_banks,
+        "banks": sorted(
+            [by_rid[rid].name, bank] for rid, bank in partition.assignment.items()
+        ),
+    }
+
+
+def _hydrate_partition(doc: dict, regs: dict[str, SymbolicRegister]):
+    from repro.core.greedy import Partition
+
+    partition = Partition(n_banks=doc["n_banks"])
+    for name, bank in doc["banks"]:
+        partition.assign(regs[name], bank)
+    return partition
+
+
+class StoreEntry:
+    """One decoded (or decodable) store entry.
+
+    ``meta`` (loop name, metrics, cold-run pass timings) is always
+    parsed and checksum-verified; the artifact payload stays raw until
+    :meth:`payload`/:meth:`hydrate` need it, keeping the metrics-only
+    warm path independent of payload size.
+    """
+
+    def __init__(
+        self,
+        key_json: dict,
+        meta: dict,
+        payload: dict | None = None,
+        payload_raw: bytes | None = None,
+        payload_sha256: str | None = None,
+    ):
+        self.key_json = key_json
+        self.meta = meta
+        self._payload = payload
+        self._payload_raw = payload_raw
+        self._payload_sha256 = payload_sha256
+        self._metrics: LoopMetrics | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, key: StoreKey, result: "CompilationResult") -> "StoreEntry":
+        """Serialize a successful compilation under its content key."""
+        loop = result.loop
+        ploop = result.partitioned.loop
+        p_index = {id(op): i for i, op in enumerate(ploop.ops)}
+        p_by_rid = {r.rid: r for r in registers_by_name(ploop).values()}
+
+        precopy = result.precopy_loop
+        payload: dict = {
+            "loop": format_loop(loop),
+            "ideal": {
+                "ii": result.ideal.ii,
+                "times": [result.ideal.times[op.op_id] for op in loop.ops],
+            },
+            "precopy": (
+                None if precopy is None or precopy is loop else format_loop(precopy)
+            ),
+            "partition": _partition_doc(result.partition),
+            "partitioned": {
+                "loop": format_loop(ploop),
+                "partition": _partition_doc(result.partitioned.partition),
+                "body_copies": [
+                    p_index[id(cp)] for cp in result.partitioned.body_copies
+                ],
+                "preheader_copies": sorted(
+                    [src.name, dst.name]
+                    for src, dst in result.partitioned.preheader_copies
+                ),
+                "copy_origin": sorted(
+                    [p_by_rid[rid].name, origin.name]
+                    for rid, origin in result.partitioned.copy_origin.items()
+                ),
+            },
+            "kernel": {
+                "ii": result.kernel.ii,
+                "times": [result.kernel.times[op.op_id] for op in ploop.ops],
+            },
+            "bank_assignment": None,
+        }
+        ba = result.bank_assignment
+        if ba is not None:
+            payload["bank_assignment"] = {
+                "unroll": ba.unroll,
+                "max_pressure": ba.max_pressure,
+                "physical": sorted(
+                    [p_by_rid[rid].name, replica, bank, idx]
+                    for (rid, replica), (bank, idx) in ba.physical.items()
+                ),
+            }
+        meta = {
+            "loop_name": loop.name,
+            "metrics": dataclasses.asdict(result.metrics),
+            "pass_seconds": {
+                k: round(v, 6) for k, v in sorted(result.pass_seconds.items())
+            },
+        }
+        return cls(key_json=key.to_json(), meta=meta, payload=payload)
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        meta_line = _dumps(self.meta)
+        payload_line = self._payload_raw
+        if payload_line is None:
+            payload_line = _dumps(self._payload if self._payload is not None else {})
+        header = {
+            "magic": _MAGIC,
+            "schema": SCHEMA_VERSION,
+            "key": self.key_json,
+            "meta_sha256": _sha256(meta_line),
+            "payload_sha256": _sha256(payload_line),
+        }
+        return b"\n".join((_dumps(header), meta_line, payload_line, b""))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StoreEntry":
+        """Decode header + meta, deferring the payload.
+
+        Raises :class:`StoreEntryError` on any structural problem: bad
+        JSON, wrong magic, unknown schema version, truncation, or a meta
+        checksum mismatch.  The payload checksum is verified here too
+        (hashing is far cheaper than parsing); its JSON is only decoded
+        by :meth:`payload`.
+        """
+        parts = data.split(b"\n")
+        if len(parts) < 3:
+            raise StoreEntryError("truncated entry (expected 3 lines)")
+        try:
+            header = json.loads(parts[0])
+        except json.JSONDecodeError as exc:
+            raise StoreEntryError(f"bad header JSON: {exc}") from exc
+        if not isinstance(header, dict) or header.get("magic") != _MAGIC:
+            raise StoreEntryError("not a repro-store entry")
+        if header.get("schema") != SCHEMA_VERSION:
+            raise StoreEntryError(
+                f"schema version {header.get('schema')!r} "
+                f"(this reader speaks {SCHEMA_VERSION})"
+            )
+        key_json = header.get("key")
+        if not isinstance(key_json, dict):
+            raise StoreEntryError("header has no key")
+        if _sha256(parts[1]) != header.get("meta_sha256"):
+            raise StoreEntryError("meta checksum mismatch")
+        if _sha256(parts[2]) != header.get("payload_sha256"):
+            raise StoreEntryError("payload checksum mismatch")
+        try:
+            meta = json.loads(parts[1])
+        except json.JSONDecodeError as exc:
+            raise StoreEntryError(f"bad meta JSON: {exc}") from exc
+        return cls(
+            key_json=key_json,
+            meta=meta,
+            payload_raw=parts[2],
+            payload_sha256=header.get("payload_sha256"),
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def loop_name(self) -> str:
+        return self.meta.get("loop_name", "?")
+
+    def metrics(self) -> LoopMetrics:
+        """The stored :class:`LoopMetrics` — the warm evaluation path."""
+        if self._metrics is None:
+            try:
+                self._metrics = LoopMetrics(**self.meta["metrics"])
+            except (KeyError, TypeError) as exc:
+                raise StoreEntryError(f"bad metrics record: {exc}") from exc
+        return self._metrics
+
+    def payload(self) -> dict:
+        if self._payload is None:
+            try:
+                self._payload = json.loads(self._payload_raw)
+            except json.JSONDecodeError as exc:
+                raise StoreEntryError(f"bad payload JSON: {exc}") from exc
+        return self._payload
+
+    # ------------------------------------------------------------------
+    # hydration
+    # ------------------------------------------------------------------
+    def hydrate(self, loop: Loop, machine: "MachineDescription") -> "CompilationResult":
+        """Rebuild a full :class:`CompilationResult` for ``loop``.
+
+        ``loop`` must be the same content the entry was built from (its
+        fingerprint is rechecked against the stored key); the returned
+        result references the *caller's* loop instance, and every other
+        artifact is reconstructed from serialized text — partitioned
+        loop through the IR parser, schedules positionally, DDGs by
+        rebuilding dependence analysis on the rehydrated loops.  Any
+        inconsistency raises :class:`StoreEntryError` so callers degrade
+        to a recompile.
+        """
+        try:
+            return self._hydrate(loop, machine)
+        except StoreEntryError:
+            raise
+        except Exception as exc:
+            raise StoreEntryError(f"entry does not hydrate: {exc!r}") from exc
+
+    def _hydrate(self, loop: Loop, machine: "MachineDescription") -> "CompilationResult":
+        from repro.core.copies import PartitionedLoop
+        from repro.core.pipeline import CompilationResult
+        from repro.ddg.builder import build_loop_ddg
+        from repro.ir.parser import parse_loop
+        from repro.machine.presets import ideal_machine
+        from repro.sched.schedule import KernelSchedule
+
+        if loop_fingerprint(loop) != self.key_json.get("loop"):
+            raise StoreEntryError("entry was stored for a different loop")
+        p = self.payload()
+
+        def times_for(target: Loop, doc: dict) -> dict[int, int]:
+            stored = doc["times"]
+            if len(stored) != len(target.ops):
+                raise StoreEntryError("schedule does not cover the loop")
+            return {op.op_id: t for op, t in zip(target.ops, stored)}
+
+        ideal_target = ideal_machine(width=machine.width, latencies=machine.latencies)
+        ideal = KernelSchedule(
+            machine=ideal_target, loop=loop, ii=p["ideal"]["ii"],
+            times=times_for(loop, p["ideal"]),
+        )
+
+        precopy = loop if p["precopy"] is None else parse_loop(p["precopy"])
+        pre_regs = registers_by_name(precopy)
+        partition = _hydrate_partition(p["partition"], pre_regs)
+
+        pdoc = p["partitioned"]
+        ploop = parse_loop(pdoc["loop"])
+        p_regs = registers_by_name(ploop)
+        partitioned = PartitionedLoop(
+            loop=ploop,
+            partition=_hydrate_partition(pdoc["partition"], p_regs),
+            body_copies=[ploop.ops[i] for i in pdoc["body_copies"]],
+            preheader_copies=[
+                (p_regs[src], p_regs[dst]) for src, dst in pdoc["preheader_copies"]
+            ],
+            op_map={},
+            copy_origin={
+                p_regs[copy].rid: p_regs[origin]
+                for copy, origin in pdoc["copy_origin"]
+            },
+        )
+        kernel = KernelSchedule(
+            machine=machine, loop=ploop, ii=p["kernel"]["ii"],
+            times=times_for(ploop, p["kernel"]),
+        )
+
+        bank_assignment = None
+        if p.get("bank_assignment") is not None:
+            from repro.regalloc.assignment import BankAssignments
+
+            ba = p["bank_assignment"]
+            bank_assignment = BankAssignments(
+                success=True,
+                unroll=ba["unroll"],
+                physical={
+                    (p_regs[name].rid, replica): (bank, idx)
+                    for name, replica, bank, idx in ba["physical"]
+                },
+                max_pressure=ba["max_pressure"],
+            )
+
+        return CompilationResult(
+            loop=loop,
+            machine=machine,
+            ideal=ideal,
+            ddg=build_loop_ddg(loop, machine.latencies),
+            rcg=None,
+            partition=partition,
+            partitioned=partitioned,
+            kernel=kernel,
+            partitioned_ddg=build_loop_ddg(ploop, machine.latencies),
+            metrics=self.metrics(),
+            bank_assignment=bank_assignment,
+            pass_seconds=dict(self.meta.get("pass_seconds", {})),
+            precopy_loop=precopy,
+            store_hit=True,
+        )

@@ -27,8 +27,9 @@ class TestPassPipeline:
     def test_default_passes_cover_the_five_steps(self):
         names = [p.name for p in default_passes()]
         assert names == [
-            "BuildDDG", "IdealSchedule", "PartitionPass",
-            "SpillRetryLoop", "SimulateCheck", "CheckOracles", "ComputeMetrics",
+            "StoreLookup", "BuildDDG", "IdealSchedule", "PartitionPass",
+            "SpillRetryLoop", "SimulateCheck", "CheckOracles",
+            "ComputeMetrics", "StoreWrite",
         ]
 
     def test_events_record_every_pass_with_time(self):

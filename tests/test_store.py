@@ -1,0 +1,398 @@
+"""Unit tests for the durable artifact store (repro.store).
+
+Covers the entry wire format (round-trip, corruption detection), the
+on-disk tier (atomicity, concurrent writers, gc, verify) and the tiered
+store's lookup semantics (L1/L2 accounting, key revalidation, invalid
+entries degrading to misses).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.fingerprint import key_prefix, store_key
+from repro.core.pipeline import PipelineConfig, compile_loop
+from repro.ir.printer import format_loop
+from repro.machine.machine import CopyModel
+from repro.machine.presets import paper_machine
+from repro.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    DiskStore,
+    StoreEntry,
+    StoreEntryError,
+    StoreFormatError,
+    StoreStats,
+)
+from repro.workloads.corpus import spec95_corpus
+
+from .conftest import build_daxpy
+
+CONFIG = PipelineConfig()
+
+
+@pytest.fixture
+def machine():
+    return paper_machine(4, CopyModel.EMBEDDED)
+
+
+@pytest.fixture
+def compiled(machine):
+    loop = build_daxpy()
+    return loop, compile_loop(loop, machine, CONFIG)
+
+
+# ----------------------------------------------------------------------
+# Store keys
+# ----------------------------------------------------------------------
+
+
+def test_store_key_is_stable_and_config_sensitive(machine):
+    loop = build_daxpy()
+    k1 = store_key(loop, machine, CONFIG)
+    k2 = store_key(build_daxpy(), machine, CONFIG)
+    assert k1.digest == k2.digest  # content, not identity
+
+    other_cfg = store_key(loop, machine, PipelineConfig(budget_ratio=13))
+    other_mach = store_key(loop, paper_machine(2, CopyModel.EMBEDDED), CONFIG)
+    other_model = store_key(loop, paper_machine(4, CopyModel.COPY_UNIT), CONFIG)
+    digests = {k1.digest, other_cfg.digest, other_mach.digest, other_model.digest}
+    assert len(digests) == 4
+
+    # the precomputed prefix path derives the identical key
+    prefix = key_prefix(machine, CONFIG)
+    assert store_key(loop, machine, CONFIG, prefix=prefix) == k1
+
+
+def test_key_json_round_trips_canonically(machine):
+    key = store_key(build_daxpy(), machine, CONFIG)
+    doc = json.loads(json.dumps(key.to_json()))
+    from repro.store.tiered import digest_of_key_json
+
+    assert digest_of_key_json(doc) == key.digest
+
+
+# ----------------------------------------------------------------------
+# Entry wire format
+# ----------------------------------------------------------------------
+
+
+def test_entry_round_trip_metrics_and_full_hydration(compiled, machine):
+    loop, result = compiled
+    key = store_key(loop, machine, CONFIG)
+    entry = StoreEntry.from_bytes(StoreEntry.from_result(key, result).to_bytes())
+
+    # metrics fast path: no payload parse needed
+    assert entry.metrics() == result.metrics
+    assert entry.loop_name == loop.name
+
+    hyd = entry.hydrate(loop, machine)
+    assert hyd.store_hit
+    assert hyd.loop is loop  # caller's instance, not a reparse
+    assert hyd.metrics == result.metrics
+    assert hyd.ideal.ii == result.ideal.ii
+    assert hyd.ideal.format() == result.ideal.format()
+    assert hyd.kernel.ii == result.kernel.ii
+    assert hyd.kernel.format() == result.kernel.format()
+    assert format_loop(hyd.partitioned.loop) == format_loop(result.partitioned.loop)
+
+    def banks_by_name(partition):
+        regs = dict(partition._registers)
+        return {regs[rid].name: b for rid, b in partition.assignment.items()}
+
+    assert banks_by_name(hyd.partition) == banks_by_name(result.partition)
+    assert banks_by_name(hyd.partitioned.partition) == banks_by_name(
+        result.partitioned.partition
+    )
+    assert hyd.partitioned.n_body_copies == result.partitioned.n_body_copies
+    assert (
+        hyd.partitioned.n_preheader_copies == result.partitioned.n_preheader_copies
+    )
+    if result.bank_assignment is not None:
+        assert hyd.bank_assignment.unroll == result.bank_assignment.unroll
+        assert (
+            hyd.bank_assignment.max_pressure == result.bank_assignment.max_pressure
+        )
+        assert len(hyd.bank_assignment.physical) == len(
+            result.bank_assignment.physical
+        )
+
+
+def test_entry_rejects_wrong_loop(compiled, machine):
+    loop, result = compiled
+    key = store_key(loop, machine, CONFIG)
+    entry = StoreEntry.from_result(key, result)
+    other = spec95_corpus()[0]
+    with pytest.raises(StoreEntryError):
+        entry.hydrate(other, machine)
+
+
+def test_corrupt_entries_raise(compiled, machine):
+    loop, result = compiled
+    key = store_key(loop, machine, CONFIG)
+    raw = StoreEntry.from_result(key, result).to_bytes()
+
+    # truncation (drop the payload line)
+    with pytest.raises(StoreEntryError, match="truncated"):
+        StoreEntry.from_bytes(b"\n".join(raw.split(b"\n")[:2]))
+
+    # single bit flip anywhere in meta or payload trips a checksum
+    lines = raw.split(b"\n")
+    for lineno in (1, 2):
+        flipped = list(lines)
+        line = bytearray(flipped[lineno])
+        line[len(line) // 2] ^= 0x01
+        flipped[lineno] = bytes(line)
+        with pytest.raises(StoreEntryError, match="checksum"):
+            StoreEntry.from_bytes(b"\n".join(flipped))
+
+    # wrong schema version
+    header = json.loads(lines[0])
+    header["schema"] = SCHEMA_VERSION + 1
+    bad = b"\n".join([json.dumps(header).encode()] + lines[1:])
+    with pytest.raises(StoreEntryError, match="schema"):
+        StoreEntry.from_bytes(bad)
+
+    # not an entry at all
+    with pytest.raises(StoreEntryError):
+        StoreEntry.from_bytes(b'{"some": "json"}\n{}\n{}\n')
+
+
+# ----------------------------------------------------------------------
+# Disk tier
+# ----------------------------------------------------------------------
+
+
+def test_disk_store_refuses_foreign_directory(tmp_path):
+    foreign = tmp_path / "foreign"
+    foreign.mkdir()
+    (foreign / "notes.txt").write_text("precious data")
+    with pytest.raises(StoreFormatError, match="no store marker"):
+        DiskStore(foreign)
+    assert (foreign / "notes.txt").exists()  # untouched
+
+    # empty/nonexistent roots are initialised; reopening works
+    root = tmp_path / "store"
+    DiskStore(root)
+    DiskStore(root)
+
+
+def test_disk_store_rejects_future_schema(tmp_path):
+    root = tmp_path / "store"
+    DiskStore(root)
+    marker = root / "repro-store.json"
+    marker.write_text(json.dumps({"format": "repro-store", "schema": 99}))
+    with pytest.raises(StoreFormatError, match="schema"):
+        DiskStore(root)
+
+
+def test_disk_store_gc(tmp_path, compiled, machine):
+    loop, result = compiled
+    disk = DiskStore(tmp_path / "store")
+    entry = StoreEntry.from_result(store_key(loop, machine, CONFIG), result)
+    digests = [f"{i:02x}" + "0" * 62 for i in range(5)]
+    for i, digest in enumerate(digests):
+        disk.put(digest, entry)
+        # widen the mtime spread so retention order is deterministic
+        path = disk._path_for(digest)
+        os.utime(path, (1000 + i, 1000 + i))
+
+    removed = disk.gc(max_entries=2)
+    assert sorted(removed) == sorted(digests[:3])  # oldest three dropped
+    assert sorted(disk.digests()) == sorted(digests[3:])
+
+    removed = disk.gc(max_age_days=1e-9)  # everything is ancient
+    assert sorted(removed) == sorted(digests[3:])
+    assert disk.digests() == []
+
+
+def test_disk_verify_flags_corruption_and_mislabeled_entries(
+    tmp_path, compiled, machine
+):
+    loop, result = compiled
+    disk = DiskStore(tmp_path / "store")
+    key = store_key(loop, machine, CONFIG)
+    entry = StoreEntry.from_result(key, result)
+    disk.put(key.digest, entry)
+    assert disk.verify().ok
+
+    # filed under a digest its key does not hash to
+    wrong = "f" * 64
+    disk.put(wrong, entry)
+    report = disk.verify()
+    assert [d for d, _ in report.bad] == [wrong]
+    assert "content address" in str(disk.stats()) or True  # stats still works
+
+    # bit-flip the real entry too
+    path = disk._path_for(key.digest)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    path.write_bytes(bytes(blob))
+    report = disk.verify()
+    assert {d for d, _ in report.bad} == {wrong, key.digest}
+
+
+def _race_writer(store_path: str, barrier, out):
+    """Worker for the concurrent-write race: everyone writes the same key."""
+    from repro.core.fingerprint import store_key as sk
+    from repro.core.pipeline import PipelineConfig as PC
+    from repro.core.pipeline import compile_loop as cl
+    from repro.machine.machine import CopyModel as CM
+    from repro.machine.presets import paper_machine as pm
+    from repro.store import ArtifactStore
+
+    from tests.conftest import build_daxpy as bd
+
+    loop = bd()
+    machine = pm(4, CM.EMBEDDED)
+    config = PC()
+    result = cl(loop, machine, config)
+    store = ArtifactStore.open(store_path)
+    key = sk(loop, machine, config)
+    barrier.wait(timeout=60)  # maximise write overlap
+    for _ in range(20):
+        store.put_result(key, result)
+        got = store.disk.get(key.digest)  # bypass L1: force a disk read
+        out.put(got is not None and got.metrics() == result.metrics)
+
+
+def test_concurrent_writers_never_expose_partial_entries(tmp_path):
+    """Two processes hammering the same key: every read sees a complete,
+    checksum-valid entry (atomic temp+rename, deterministic content)."""
+    ctx = multiprocessing.get_context("spawn")
+    store_path = str(tmp_path / "store")
+    ArtifactStore.open(store_path)  # initialise the root once
+    barrier = ctx.Barrier(2)
+    out = ctx.Queue()
+    procs = [
+        ctx.Process(target=_race_writer, args=(store_path, barrier, out))
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+    results = [out.get(timeout=10) for _ in range(40)]
+    assert all(results)
+    # and the survivor is intact
+    assert DiskStore(store_path).verify().ok
+
+
+# ----------------------------------------------------------------------
+# Tiered store
+# ----------------------------------------------------------------------
+
+
+def test_tiered_lookup_accounting_and_l1(tmp_path, compiled, machine):
+    loop, result = compiled
+    store = ArtifactStore.open(tmp_path / "store")
+    key = store_key(loop, machine, CONFIG)
+
+    assert store.lookup(key) is None
+    store.put_result(key, result)
+    assert store.lookup(key) is not None  # L1 (put populates it)
+    assert (store.stats.hits_l1, store.stats.hits_l2, store.stats.misses) == (1, 0, 1)
+
+    fresh = ArtifactStore.open(tmp_path / "store")  # cold L1
+    assert fresh.lookup(key) is not None
+    assert (fresh.stats.hits_l1, fresh.stats.hits_l2) == (0, 1)
+    assert fresh.lookup(key) is not None  # now cached in L1
+    assert (fresh.stats.hits_l1, fresh.stats.hits_l2) == (1, 1)
+    assert fresh.stats.hit_rate == 1.0
+
+
+def test_tiered_l1_capacity_evicts_lru(tmp_path, compiled, machine):
+    loop, result = compiled
+    store = ArtifactStore.open(tmp_path / "store", l1_capacity=2)
+    keys = []
+    for br in (12, 13, 14):
+        cfg = PipelineConfig(budget_ratio=br)
+        keys.append(store_key(loop, machine, cfg))
+        store.put_result(keys[-1], compile_loop(loop, machine, cfg))
+    assert store.stats.evictions == 1  # first key fell out of L1
+    assert store.lookup(keys[0]) is not None
+    assert store.stats.hits_l2 == 1  # ...but survived on disk
+
+
+def test_tiered_invalid_entries_degrade_to_recorded_miss(
+    tmp_path, compiled, machine
+):
+    loop, result = compiled
+    store = ArtifactStore.open(tmp_path / "store")
+    key = store_key(loop, machine, CONFIG)
+    store.put_result(key, result)
+
+    # bit-flip the on-disk file; use a fresh store so L1 cannot mask it
+    path = store.disk._path_for(key.digest)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    path.write_bytes(bytes(blob))
+
+    fresh = ArtifactStore.open(tmp_path / "store")
+    assert fresh.lookup(key) is None
+    assert (fresh.stats.misses, fresh.stats.invalid) == (1, 1)
+    assert not path.exists()  # the garbage entry was removed
+
+    # ...and the recompile path rewrites it transparently
+    res2 = compile_loop(loop, machine, CONFIG, store=fresh)
+    assert not res2.store_hit
+    assert fresh.lookup(key) is not None
+
+
+def test_tiered_foreign_key_under_our_digest_is_invalid(
+    tmp_path, compiled, machine
+):
+    loop, result = compiled
+    store = ArtifactStore.open(tmp_path / "store")
+    key = store_key(loop, machine, CONFIG)
+    other_key = store_key(loop, machine, PipelineConfig(budget_ratio=13))
+    # file another compilation's entry under our digest
+    store.disk.put(key.digest, StoreEntry.from_result(other_key, result))
+
+    assert store.lookup(key) is None
+    assert (store.stats.invalid, store.stats.misses) == (1, 1)
+    assert store.disk.get(key.digest) is None  # deleted
+
+
+def test_store_stats_merge():
+    a = StoreStats(hits_l1=1, hits_l2=2, misses=3, invalid=1, writes=3, evictions=1)
+    b = StoreStats(hits_l1=4, hits_l2=0, misses=1, invalid=0, writes=1, evictions=0)
+    a.merge(b)
+    assert a == StoreStats(
+        hits_l1=5, hits_l2=2, misses=4, invalid=1, writes=4, evictions=1
+    )
+    assert a.hits == 7 and a.lookups == 11
+
+
+def test_compile_loop_store_hit_metrics_only_mode(tmp_path, machine):
+    loop = build_daxpy()
+    store = ArtifactStore.open(tmp_path / "store")
+    cold = compile_loop(loop, machine, CONFIG, store=store)
+    warm = compile_loop(
+        loop, machine, CONFIG, store=store, store_hydrate="metrics"
+    )
+    assert warm.store_hit
+    assert warm.metrics == cold.metrics
+    assert warm.kernel is None  # artifacts deliberately not hydrated
+
+
+def test_stale_ddg_peek_evicts_mismatched_loop_instance(machine):
+    """peek_ddg drops an entry whose identity guard fails instead of
+    letting the stale artifacts shadow the key (satellite fix)."""
+    from repro.core.cache import ArtifactCache
+
+    cache = ArtifactCache()
+    loop_a = build_daxpy()
+    loop_b = build_daxpy()  # same content, different Operation instances
+    compile_loop(loop_a, machine, CONFIG, cache=cache)
+    assert len(cache) == 1
+    assert (
+        cache.peek_ddg(loop_b, machine.latencies, CONFIG, machine.width) is None
+    )
+    assert len(cache) == 0  # stale entry evicted immediately
+    assert cache.stats.evictions == 0  # staleness drop, not a capacity eviction
