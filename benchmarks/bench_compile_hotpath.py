@@ -71,6 +71,93 @@ def disabled_hook_ns(samples: int = 200_000) -> float:
     return (time.perf_counter() - t0) / samples * 1e9
 
 
+def micro_benchmark(repeats: int = REPEATS) -> dict:
+    """Scheduler/partitioner microbenchmark leg.
+
+    Measures raw modulo-reservation-table throughput (placements/sec:
+    one ``first_free`` probe + ``place`` + eventual ``remove``) for every
+    importable MRT backend on the same op mix the clustered scheduler
+    sees (ALU ops plus copy-unit copies), and greedy-partitioner
+    throughput (nodes/sec over a seeded dense RCG).  Best-of-N rates;
+    absolute numbers are host-dependent, but the packed/NumPy/reference
+    ratios are in-process and comparable across runs.
+    """
+    import random
+
+    from repro.core.greedy import greedy_partition
+    from repro.core.rcg import RegisterComponentGraph
+    from repro.ir.operations import Opcode, Operation, make_copy
+    from repro.ir.registers import RegisterFactory
+    from repro.ir.types import DataType
+    from repro.machine.machine import CopyModel
+    from repro.machine.presets import paper_machine
+    from repro.sched.resources import MRT_BACKENDS, make_mrt, numpy_available
+
+    machine = paper_machine(4, CopyModel.COPY_UNIT)
+    rng = random.Random(2026)
+    factory = RegisterFactory()
+    ops = []
+    for _ in range(64):
+        cluster = rng.randrange(4)
+        if rng.random() < 0.25:
+            ops.append(make_copy(factory.new(DataType.INT),
+                                 factory.new(DataType.INT), cluster=cluster))
+        else:
+            op = Operation(opcode=Opcode.ADD, dest=factory.new(DataType.INT),
+                           sources=(factory.new(DataType.INT),) * 2)
+            op.cluster = cluster
+            ops.append(op)
+
+    ii = 16
+    backends = [b for b in MRT_BACKENDS
+                if b != "numpy" or numpy_available()]
+    best_rates: dict[str, float] = {}
+    # interleave backends within each repeat: host speed drifts on the
+    # scale of seconds, so only adjacent measurements produce meaningful
+    # backend ratios
+    for _ in range(repeats):
+        for backend in backends:
+            mrt = make_mrt(machine, ii, backend=backend)
+            placements = 0
+            t0 = time.perf_counter()
+            for round_no in range(60):
+                placed = []
+                for op in ops:
+                    slot = mrt.first_free(op, (op.op_id + round_no) % ii)
+                    if slot is not None:
+                        mrt.place(op, slot)
+                        placed.append(op)
+                        placements += 1
+                for op in placed:
+                    mrt.remove(op)
+            rate = placements / (time.perf_counter() - t0)
+            if rate > best_rates.get(backend, 0.0):
+                best_rates[backend] = rate
+    rates = {backend: round(rate) for backend, rate in best_rates.items()}
+
+    regs = [factory.new(DataType.INT) for _ in range(160)]
+    rcg = RegisterComponentGraph()
+    for reg in regs:
+        rcg.add_node_weight(reg, rng.uniform(-2.0, 10.0))
+    for _ in range(800):
+        a, b = rng.sample(regs, 2)
+        rcg.add_edge_weight(a, b, rng.uniform(-4.0, 8.0))
+    rounds = 20
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            greedy_partition(rcg, 4)
+        rate = len(rcg) * rounds / (time.perf_counter() - t0)
+        best = rate if best is None or rate > best else best
+
+    return {
+        "mrt_ii": ii,
+        "mrt_placements_per_sec": rates,
+        "partition_nodes_per_sec": round(best),
+    }
+
+
 def run_benchmark(quick_n: int = QUICK_N, repeats: int = REPEATS) -> dict:
     from repro.core.pipeline import PipelineConfig
     from repro.evalx.runner import run_evaluation
@@ -153,9 +240,12 @@ def run_benchmark(quick_n: int = QUICK_N, repeats: int = REPEATS) -> dict:
                 f"{warm_run.store_invalid} invalid"
             )
 
+    from repro.sched.resources import DEFAULT_MRT_BACKEND
+
     return {
         "benchmark": "compile_hotpath",
-        "config": {"quick": quick_n, "repeats": repeats, "run_regalloc": False},
+        "config": {"quick": quick_n, "repeats": repeats, "run_regalloc": False,
+                   "mrt_backend": DEFAULT_MRT_BACKEND},
         "calibration_seconds": round(best_calibration, 4),
         "wall_seconds": round(best_wall, 4),
         "normalized_score": round(best_score, 3),
@@ -174,6 +264,7 @@ def run_benchmark(quick_n: int = QUICK_N, repeats: int = REPEATS) -> dict:
             "warm_speedup": round(cold_wall / best_warm, 1),
             "warm_hits": warm_run.store_hits,
         },
+        "micro": micro_benchmark(repeats=repeats),
     }
 
 

@@ -28,6 +28,13 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_compile.json"
 
 DEFAULT_TOLERANCE = 0.25
+#: individually-gated pipeline passes — the two stages the flat-array /
+#: packed-MRT rework targets; a regression hiding inside one pass while
+#: the end-to-end score stays within tolerance should still fail
+GATED_PASSES = ("ClusterReschedule", "PartitionPass")
+#: per-pass timings have small denominators and are noisier than the
+#: whole-run score, so their gate is looser
+DEFAULT_PASS_TOLERANCE = 0.40
 #: allowed normalized slowdown of the *disabled-instrumentation* hot path
 #: vs the pre-observability baseline — the "tracing is free when off"
 #: budget (see src/repro/obs)
@@ -40,7 +47,8 @@ DEFAULT_STORE_SPEEDUP = 10.0
 
 def check(baseline: dict, current: dict, tolerance: float,
           obs_tolerance: float = DEFAULT_OBS_TOLERANCE,
-          store_speedup: float = DEFAULT_STORE_SPEEDUP) -> tuple[bool, str]:
+          store_speedup: float = DEFAULT_STORE_SPEEDUP,
+          pass_tolerance: float = DEFAULT_PASS_TOLERANCE) -> tuple[bool, str]:
     base_score = baseline["normalized_score"]
     cur_score = current["normalized_score"]
     ratio = cur_score / base_score
@@ -62,6 +70,32 @@ def check(baseline: dict, current: dict, tolerance: float,
             "`python benchmarks/bench_compile_hotpath.py --update-baseline`."
         )
         ok = False
+
+    # Per-pass gates: the same calibration normalization, applied to the
+    # individually-gated pipeline stages.  Catches a pass-local slowdown
+    # that end-to-end averaging would wash out.
+    base_passes = baseline.get("pass_seconds", {})
+    cur_passes = current.get("pass_seconds", {})
+    for name in GATED_PASSES:
+        if name not in base_passes or name not in cur_passes:
+            continue
+        base_pass = base_passes[name] / baseline["calibration_seconds"]
+        cur_pass = cur_passes[name] / current["calibration_seconds"]
+        pass_ratio = cur_pass / base_pass
+        lines.append(
+            f"pass {name}: {cur_passes[name]:.4f}s "
+            f"(normalized {cur_pass:.2f} vs baseline {base_pass:.2f}, "
+            f"ratio {pass_ratio:.3f}; tolerance {1 + pass_tolerance:.2f})"
+        )
+        if pass_ratio > 1 + pass_tolerance:
+            lines.append(
+                f"FAIL: pass {name} is {100 * (pass_ratio - 1):.0f}% slower "
+                f"than the committed baseline (allowed: "
+                f"{100 * pass_tolerance:.0f}%). If the slowdown is intended, "
+                "refresh the baseline with `python benchmarks/"
+                "bench_compile_hotpath.py --update-baseline`."
+            )
+            ok = False
 
     # Observability gate: the bench measures what the disabled tracing
     # hooks can cost — no-op hook call time x span sites per evaluation,
@@ -129,6 +163,12 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"required warm-over-cold speedup of the "
                         f"artifact-store leg (default "
                         f"{DEFAULT_STORE_SPEEDUP:.0f}x)")
+    parser.add_argument("--pass-tolerance", type=float,
+                        default=DEFAULT_PASS_TOLERANCE, metavar="FRACTION",
+                        help=f"allowed normalized slowdown of each "
+                        f"individually-gated pass "
+                        f"({', '.join(GATED_PASSES)}; default "
+                        f"{DEFAULT_PASS_TOLERANCE:.0%})")
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
@@ -143,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     ok, report = check(baseline, current, args.tolerance, args.obs_tolerance,
-                       args.store_speedup)
+                       args.store_speedup, args.pass_tolerance)
     print(report)
     return 0 if ok else 1
 

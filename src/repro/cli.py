@@ -99,6 +99,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         run_simulation=args.sim,
         run_regalloc=not args.no_regalloc,
         run_check=args.check,
+        mrt_backend=args.mrt_backend,
     )
     store = _open_store(args.store) if args.store else None
     tracer = trace_fh = None
@@ -197,7 +198,10 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         raise SystemExit("error: --quick requires a positive number of loops")
     n = args.quick if args.quick is not None else 211
     loops = spec95_corpus(n=n)
-    pipeline_config = PipelineConfig(run_regalloc=args.regalloc, run_check=args.check)
+    pipeline_config = PipelineConfig(
+        run_regalloc=args.regalloc, run_check=args.check,
+        mrt_backend=args.mrt_backend,
+    )
 
     checkpoint = None
     if args.checkpoint and args.resume:
@@ -443,6 +447,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     c.add_argument("--unroll", type=int, default=1, metavar="U",
                    help="unroll the loop U times before compiling")
+    c.add_argument(
+        "--mrt-backend",
+        choices=("packed", "numpy", "reference"),
+        default="packed",
+        help="modulo-reservation-table backend: packed occupancy words "
+             "(default), NumPy vectors (errors if numpy is missing), or "
+             "the reference dict-of-pools oracle; all three produce "
+             "byte-identical schedules",
+    )
     c.add_argument("--sim", action="store_true", help="validate via simulation")
     c.add_argument("--check", action="store_true",
                    help="run the cross-stage differential oracles on the "
@@ -474,6 +487,13 @@ def build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("evaluate", help="regenerate Tables 1-2 and Figures 5-7")
     e.add_argument("--quick", type=int, metavar="N", help="use only N loops")
     e.add_argument("--regalloc", action="store_true")
+    e.add_argument(
+        "--mrt-backend",
+        choices=("packed", "numpy", "reference"),
+        default="packed",
+        help="modulo-reservation-table backend (see `compile --help`); "
+             "the report is byte-identical across backends",
+    )
     e.add_argument("--check", action="store_true",
                    help="run the cross-stage oracles on every cell; "
                         "violations become 'oracle' failures in the report")

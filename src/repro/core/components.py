@@ -31,25 +31,31 @@ def connected_components(
     *not* same-bank candidates, so component analysis for seeding uses the
     positive skeleton.
     """
-    seen: set[int] = set()
+    # Flood-fill over the CSR adjacency (shared with the partitioner);
+    # traversal order cannot affect the result — membership is symmetric
+    # and every component is sorted before it is reported.
+    _index_of, rids, offsets, nbr, wgt = rcg.flat_adjacency()
+    nodes = rcg.nodes()  # ascending rid, aligned with ``rids``
+    seen = bytearray(len(rids))
     components: list[list[SymbolicRegister]] = []
-    for root in rcg.nodes():
-        if root.rid in seen:
+    for root in range(len(rids)):
+        if seen[root]:
             continue
+        seen[root] = 1
         stack = [root]
-        seen.add(root.rid)
-        comp: list[SymbolicRegister] = []
+        comp_idx: list[int] = []
         while stack:
-            reg = stack.pop()
-            comp.append(reg)
-            for neighbor, weight in rcg.neighbors(reg):
-                if positive_only and weight <= 0:
+            i = stack.pop()
+            comp_idx.append(i)
+            for k in range(offsets[i], offsets[i + 1]):
+                if positive_only and wgt[k] <= 0:
                     continue
-                if neighbor.rid not in seen:
-                    seen.add(neighbor.rid)
-                    stack.append(neighbor)
-        comp.sort(key=lambda r: r.rid)
-        components.append(comp)
+                n = nbr[k]
+                if not seen[n]:
+                    seen[n] = 1
+                    stack.append(n)
+        comp_idx.sort()
+        components.append([nodes[i] for i in comp_idx])
 
     def total_weight(comp: list[SymbolicRegister]) -> float:
         return sum(rcg.node_weight(r) for r in comp)

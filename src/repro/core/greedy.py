@@ -153,18 +153,26 @@ def greedy_partition(
     if slots_per_bank is not None and config.capacity_alpha > 0:
         capacity = config.capacity_alpha * slots_per_bank
 
-    adjacency = rcg.adjacency()
-    assignment = partition.assignment  # rid -> bank, grows as we place
-    sizes = partition.bank_sizes()     # then maintained incrementally
+    # CSR adjacency + dense bank array: the inner benefit loop indexes two
+    # flat lists instead of hashing rids, and the per-node visit order
+    # (ascending neighbor rid) matches adjacency(), so every benefit sum
+    # accumulates bit-identically to the reference
+    index_of, _rids, offsets, nbr, wgt = rcg.flat_adjacency()
+    bank_arr = [-1] * len(_rids)
+    for rid, bank in partition.assignment.items():  # precolored
+        bank_arr[index_of[rid]] = bank
+    sizes = partition.bank_sizes()  # then maintained incrementally
     placed = 0
     for node in rcg.nodes_by_weight():
-        if node.rid in assignment:
+        i = index_of[node.rid]
+        if bank_arr[i] >= 0:
             continue
-        bank = _choose_best_bank(
-            adjacency.get(node.rid, ()), assignment, sizes, n_banks,
+        bank = _choose_best_bank_flat(
+            nbr, wgt, offsets[i], offsets[i + 1], bank_arr, sizes, n_banks,
             penalty, capacity, config,
         )
         partition.assign(node, bank)
+        bank_arr[i] = bank
         sizes[bank] += 1
         placed += 1
     if metrics is not None:
@@ -173,26 +181,29 @@ def greedy_partition(
     return partition
 
 
-def _choose_best_bank(
-    adj: list[tuple[int, float]],
-    assignment: dict[int, int],
+def _choose_best_bank_flat(
+    nbr: list[int],
+    wgt: list[float],
+    lo: int,
+    hi: int,
+    bank_arr: list[int],
     sizes: list[int],
     n_banks: int,
     penalty: float,
     capacity: float | None,
     config: HeuristicConfig = DEFAULT_HEURISTIC,
 ) -> int:
-    """One pass over the node's neighbors, accumulating per-bank benefit.
+    """One pass over the node's CSR slice, accumulating per-bank benefit.
 
     Neighbors are visited in ascending-rid order, so each bank's partial
     sums accumulate in exactly the order the reference (per-bank rescan)
     produced — bit-identical benefits, hence identical tie-breaks.
     """
     benefits = [0.0] * n_banks
-    for rid, weight in adj:
-        bank = assignment.get(rid)
-        if bank is not None:
-            benefits[bank] += weight
+    for k in range(lo, hi):
+        bank = bank_arr[nbr[k]]
+        if bank >= 0:
+            benefits[bank] += wgt[k]
 
     if capacity is not None:
         # capacity-aware: free while the bank has spare issue slots,

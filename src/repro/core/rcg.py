@@ -35,6 +35,10 @@ class RegisterComponentGraph:
     _sorted_adj: dict[int, list[tuple[int, float]]] | None = field(
         default=None, repr=False
     )
+    #: lazily-built CSR adjacency (see :meth:`flat_adjacency`), likewise
+    #: invalidated on mutation — including bare node creation, since its
+    #: node index covers every node
+    _flat: "tuple | None" = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -44,6 +48,7 @@ class RegisterComponentGraph:
             self._nodes[reg.rid] = reg
             self._node_weight[reg.rid] = 0.0
             self._adj[reg.rid] = set()
+            self._flat = None
 
     def add_node_weight(self, reg: SymbolicRegister, weight: float) -> None:
         rid = reg.rid
@@ -52,6 +57,7 @@ class RegisterComponentGraph:
             self._nodes[rid] = reg
             weights[rid] = 0.0
             self._adj[rid] = set()
+            self._flat = None
         weights[rid] += weight
 
     def add_edge_weight(self, a: SymbolicRegister, b: SymbolicRegister, weight: float) -> None:
@@ -79,6 +85,22 @@ class RegisterComponentGraph:
         adj[arid].add(brid)
         adj[brid].add(arid)
         self._sorted_adj = None
+        self._flat = None
+
+    def ingest_tables(self):
+        """Direct references to the node/weight/edge/adjacency tables, for
+        the in-package bulk writer (:mod:`repro.core.weights`).
+
+        The caller must perform exactly the per-edge write sequence
+        :meth:`add_edge_weight`/:meth:`add_node_weight` would — dict
+        insertion orders feed order-dependent float accumulations
+        downstream (``edge_weight_values``) — but skips per-call method
+        dispatch and cache invalidation; both caches are dropped here,
+        once, up front.
+        """
+        self._sorted_adj = None
+        self._flat = None
+        return self._nodes, self._node_weight, self._edges, self._adj
 
     # ------------------------------------------------------------------
     # queries
@@ -116,6 +138,54 @@ class RegisterComponentGraph:
                 ]
             self._sorted_adj = adj
         return self._sorted_adj
+
+    def flat_adjacency(self) -> tuple[
+        dict[int, int], list[int], list[int], list[int], list[float]
+    ]:
+        """CSR adjacency over dense node indices:
+        ``(index_of, rids, offsets, neighbor_index, neighbor_weight)``.
+
+        ``rids`` lists every node rid ascending; node ``i``'s neighbors
+        occupy ``neighbor_index[offsets[i]:offsets[i+1]]`` (as indices
+        into ``rids``) in ascending-rid order with matching weights — the
+        same per-node visit order as :meth:`adjacency`, so benefit sums
+        accumulate bit-identically.  The greedy partitioner's inner loop
+        runs on these flat lists against a dense bank array instead of
+        dict lookups per neighbor.
+        """
+        if self._flat is None:
+            rids = sorted(self._nodes)
+            n = len(rids)
+            index_of = {rid: i for i, rid in enumerate(rids)}
+            # One pass over the edge keys sorted by (low rid, high rid)
+            # fills every node's slice already ascending: a node's lower
+            # neighbors all arrive (in order) before its higher ones,
+            # because every key led by a smaller rid sorts first.
+            edge_items = sorted(self._edges.items())
+            deg = [0] * n
+            for (a, b), _w in edge_items:
+                deg[index_of[a]] += 1
+                deg[index_of[b]] += 1
+            offsets = [0] * (n + 1)
+            total = 0
+            for i in range(n):
+                offsets[i + 1] = total = total + deg[i]
+            nbr = [0] * total
+            wgt = [0.0] * total
+            fill = offsets[:n]
+            for (a, b), w in edge_items:
+                ia = index_of[a]
+                ib = index_of[b]
+                k = fill[ia]
+                nbr[k] = ib
+                wgt[k] = w
+                fill[ia] = k + 1
+                k = fill[ib]
+                nbr[k] = ia
+                wgt[k] = w
+                fill[ib] = k + 1
+            self._flat = (index_of, rids, offsets, nbr, wgt)
+        return self._flat
 
     def neighbors(self, reg: SymbolicRegister) -> Iterator[tuple[SymbolicRegister, float]]:
         """(neighbor, edge weight) pairs in deterministic order."""

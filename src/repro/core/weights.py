@@ -114,6 +114,16 @@ def _ingest_schedule(
     affinity = config.affinity_scale * scale
     antiaffinity = config.antiaffinity_scale * scale
 
+    # This is the partition path's hottest writer (tens of thousands of
+    # edge updates per evaluation), so it writes the RCG tables directly.
+    # The write sequence below is an exact inlining of the
+    # add_edge_weight / add_node_weight / add_node calls it replaces —
+    # same dict-insertion and float-accumulation order, hence the same
+    # bytes everywhere downstream.  Self-edges never reach the edge
+    # writes: both passes skip equal-rid pairs first.
+    nodes, node_weight, edges, adj = rcg.ingest_tables()
+    edges_get = edges.get
+
     for instr in instructions:
         # positive: def-use pairs within each operation.  Defined/used
         # tuples and the flexibility weight are computed once per op here
@@ -126,17 +136,38 @@ def _ingest_schedule(
             per_op.append((defined, fw))
             w = affinity * fw
             for d in defined:
+                drid = d.rid
                 for u in used:
-                    if d.rid == u.rid:
+                    urid = u.rid
+                    if drid == urid:
                         continue  # accumulator: same register, no self-edge
-                    rcg.add_edge_weight(d, u, w)
-                    rcg.add_node_weight(d, w)
-                    rcg.add_node_weight(u, w)
+                    if drid not in nodes:
+                        nodes[drid] = d
+                        node_weight[drid] = 0.0
+                        adj[drid] = set()
+                    if urid not in nodes:
+                        nodes[urid] = u
+                        node_weight[urid] = 0.0
+                        adj[urid] = set()
+                    key = (drid, urid) if drid <= urid else (urid, drid)
+                    edges[key] = edges_get(key, 0.0) + w
+                    adj[drid].add(urid)
+                    adj[urid].add(drid)
+                    node_weight[drid] += w
+                    node_weight[urid] += w
             # ensure every register is an RCG node even if isolated
             for r in defined:
-                rcg.add_node(r)
+                rid = r.rid
+                if rid not in nodes:
+                    nodes[rid] = r
+                    node_weight[rid] = 0.0
+                    adj[rid] = set()
             for r in used:
-                rcg.add_node(r)
+                rid = r.rid
+                if rid not in nodes:
+                    nodes[rid] = r
+                    node_weight[rid] = 0.0
+                    adj[rid] = set()
 
         # negative: def-def pairs across distinct operations of the same
         # instruction (they proved co-issuable in the ideal schedule)
@@ -144,10 +175,23 @@ def _ingest_schedule(
             fw = fw_a if fw_a <= fw_b else fw_b
             w = -antiaffinity * fw
             for d1 in defs_a:
+                arid = d1.rid
                 for d2 in defs_b:
-                    if d1.rid == d2.rid:
+                    brid = d2.rid
+                    if arid == brid:
                         continue
-                    rcg.add_edge_weight(d1, d2, w)
+                    if arid not in nodes:
+                        nodes[arid] = d1
+                        node_weight[arid] = 0.0
+                        adj[arid] = set()
+                    if brid not in nodes:
+                        nodes[brid] = d2
+                        node_weight[brid] = 0.0
+                        adj[brid] = set()
+                    key = (arid, brid) if arid <= brid else (brid, arid)
+                    edges[key] = edges_get(key, 0.0) + w
+                    adj[arid].add(brid)
+                    adj[brid].add(arid)
 
 
 # ----------------------------------------------------------------------

@@ -218,7 +218,7 @@ class Operation:
 
     def used(self) -> tuple[SymbolicRegister, ...]:
         """The *Used* set from Section 5: registers this op reads."""
-        return tuple(s for s in self.sources if isinstance(s, SymbolicRegister))
+        return tuple([s for s in self.sources if isinstance(s, SymbolicRegister)])
 
     def registers(self) -> Iterator[SymbolicRegister]:
         """Every register mentioned by this operation (defs then uses)."""

@@ -1,10 +1,15 @@
 """Interference graphs over MVE names.
 
 Two names interfere when their occupancy windows overlap anywhere on the
-cyclic timeline.  The construction walks the timeline cycle by cycle and
-marks every pair live in the same cycle — timelines are small (unroll x
-II, typically under a couple hundred cycles) so the direct sweep is both
-simple and fast enough for the corpus.
+cyclic timeline.  Each name's cyclic occupancy is packed into one Python
+int (bit ``c`` set = live at cycle ``c``), so a pair interferes iff the
+AND of their masks is nonzero, and the first common live cycle is the
+AND's lowest set bit.  Edges are inserted in exactly the order the
+cycle-by-cycle reference sweep produced them — ascending first-common
+cycle, then ascending name pair — because the adjacency sets' iteration
+order (and hence coloring order downstream) depends on insertion history.
+``_reference_build_interference`` keeps the original sweep as the
+parity-test oracle.
 """
 
 from __future__ import annotations
@@ -66,6 +71,76 @@ def build_interference(plan: MVEPlan, rids: set[int] | None = None) -> Interfere
         graph.add_node((w.rid, w.replica))
 
     timeline = plan.timeline
+    # Per-name cyclic occupancy masks: each window is one or two
+    # contiguous bit runs (two when it wraps); a name with several windows
+    # (replica count below the unroll factor) ORs them together.
+    masks: dict[Name, int] = {}
+    # Max pressure via a difference array over window endpoints.  Counting
+    # windows per cycle equals counting *names* per cycle (what the
+    # reference's per-cycle sets measured) because two windows of one name
+    # never overlap: they sit q*II >= lifetime cycles apart by MVE
+    # construction.
+    diff = [0] * (timeline + 1)
+    for w in windows:
+        length = min(w.length, timeline)
+        s = w.start % timeline
+        e = s + length
+        if e <= timeline:
+            seg = ((1 << length) - 1) << s
+            diff[s] += 1
+            diff[e] -= 1
+        else:
+            head = timeline - s
+            seg = (((1 << head) - 1) << s) | ((1 << (e - timeline)) - 1)
+            diff[s] += 1
+            diff[timeline] -= 1
+            diff[0] += 1
+            diff[e - timeline] -= 1
+        name = (w.rid, w.replica)
+        masks[name] = masks.get(name, 0) | seg
+
+    max_pressure = 0
+    acc = 0
+    for c in range(timeline):
+        acc += diff[c]
+        if acc > max_pressure:
+            max_pressure = acc
+
+    # Distinct replicas of the same register DO interfere: when a lifetime
+    # exceeds II, consecutive iterations' instances coexist and MVE gave
+    # them different names precisely so they can get different colors
+    # here.  Pairs sort by (first common live cycle, name pair), which is
+    # the order the cycle sweep discovered them in.
+    names = sorted(masks)
+    pairs: list[tuple[int, Name, Name]] = []
+    for i, a in enumerate(names):
+        ma = masks[a]
+        for b in names[i + 1:]:
+            overlap = ma & masks[b]
+            if overlap:
+                pairs.append(((overlap & -overlap).bit_length() - 1, a, b))
+    pairs.sort()
+    for _cycle, a, b in pairs:
+        graph.add_edge(a, b)
+    graph._max_pressure = max_pressure  # type: ignore[attr-defined]
+    return graph
+
+
+def _reference_build_interference(
+    plan: MVEPlan, rids: set[int] | None = None
+) -> InterferenceGraph:
+    """The original cycle-by-cycle sweep — builds per-cycle live sets and
+    marks every co-live pair.  The parity-test oracle for
+    :func:`build_interference` (identical nodes, adjacency *and* edge
+    insertion order)."""
+    graph = InterferenceGraph()
+    windows = [
+        w for w in plan.windows if rids is None or w.rid in rids
+    ]
+    for w in windows:
+        graph.add_node((w.rid, w.replica))
+
+    timeline = plan.timeline
     live_at: list[set[Name]] = [set() for _ in range(timeline)]
     for w in windows:
         for off in range(min(w.length, timeline)):
@@ -74,10 +149,6 @@ def build_interference(plan: MVEPlan, rids: set[int] | None = None) -> Interfere
     max_pressure = 0
     seen_pairs: set[tuple[Name, Name]] = set()
     for live in live_at:
-        # Distinct replicas of the same register DO interfere: when a
-        # lifetime exceeds II, consecutive iterations' instances coexist
-        # and MVE gave them different names precisely so they can get
-        # different colors here.
         max_pressure = max(max_pressure, len(live))
         for a, b in itertools.combinations(sorted(live), 2):
             if (a, b) in seen_pairs:

@@ -60,6 +60,62 @@ class CyclicLiveness:
     def __iter__(self):
         return iter(self.ranges.values())
 
+    def pressure_rows(self, include_invariant: bool = False) -> list[int]:
+        """Steady-state live-instance count at each kernel row.
+
+        An instance born at row ``start mod II`` stays live ``lifetime``
+        cycles, so it contributes ``lifetime // II`` to *every* row plus 1
+        to the ``lifetime mod II`` rows after its birth row.  Accumulating
+        full wraps into a scalar and the remainders into a difference
+        array makes this O(II + V) instead of O(sum of lifetimes).
+        Invariants are excluded by default (they occupy non-rotating
+        registers and are not MVE-replicated).
+        """
+        ii = self.ii
+        base = 0
+        diff = [0] * (ii + 1)
+        for lr in self.ranges.values():
+            if lr.invariant and not include_invariant:
+                continue
+            wraps, rem = divmod(lr.lifetime, ii)
+            base += wraps
+            if rem:
+                s = lr.start % ii
+                e = s + rem
+                if e <= ii:
+                    diff[s] += 1
+                    diff[e] -= 1
+                else:
+                    diff[s] += 1
+                    diff[ii] -= 1
+                    diff[0] += 1
+                    diff[e - ii] -= 1
+        rows: list[int] = []
+        acc = 0
+        for r in range(ii):
+            acc += diff[r]
+            rows.append(base + acc)
+        return rows
+
+    def max_live(self) -> int:
+        """MaxLive: the per-row peak of :meth:`pressure_rows` — the lower
+        bound on rotating registers (and the allocator's search start)."""
+        return max(self.pressure_rows(), default=0)
+
+
+def _reference_pressure_rows(
+    liveness: CyclicLiveness, include_invariant: bool = False
+) -> list[int]:
+    """Cycle-by-cycle transcription of the steady-state live count —
+    O(sum of lifetimes); the parity-test oracle for ``pressure_rows``."""
+    window = [0] * liveness.ii
+    for lr in liveness:
+        if lr.invariant and not include_invariant:
+            continue
+        for age in range(lr.lifetime):
+            window[(lr.start + age) % liveness.ii] += 1
+    return window
+
 
 def cyclic_liveness(kernel: KernelSchedule, ddg: DDG) -> CyclicLiveness:
     """Compute live ranges from a kernel schedule and its DDG.

@@ -97,13 +97,7 @@ def allocate_rotating(
     invariants = [lr for lr in liveness if lr.invariant]
 
     # MaxLive lower bound: steady-state live instances at each kernel row
-    window = [0] * ii
-    for lr in rotating:
-        # an instance born at (start mod ii) stays live `lifetime` cycles;
-        # steady-state live count at row r = number of (value, age) pairs
-        for age in range(lr.lifetime):
-            window[(lr.start + age) % ii] += 1
-    max_live = max(window, default=0)
+    max_live = liveness.max_live()
 
     order = sorted(rotating, key=lambda lr: (-lr.lifetime, lr.reg.rid))
     for n in range(max(1, max_live), max(1, max_live) + max_extra + 1):

@@ -26,7 +26,7 @@ from repro.ddg.analysis import longest_path_heights, min_ii, recurrence_ii, reso
 from repro.ddg.graph import DDG
 from repro.ir.block import Loop
 from repro.machine.machine import MachineDescription
-from repro.sched.resources import ModuloReservationTable
+from repro.sched.resources import make_mrt
 from repro.sched.schedule import KernelSchedule
 
 DEFAULT_BUDGET_RATIO = 12
@@ -51,13 +51,20 @@ class ModuloScheduler:
     #: the hot path pays nothing when disabled
     tracer: "object | None" = None
     metrics: "object | None" = None
+    #: modulo-reservation-table backend (see :func:`repro.sched.resources
+    #: .make_mrt`); None selects the packed default
+    mrt_backend: str | None = None
 
     #: filled by the last ``schedule`` call, for instrumentation/benches
     stats: dict = field(default_factory=dict)
+    #: per-op demand cache shared across the II retries of one ``schedule``
+    #: call — demands depend on the op and machine, never on the II
+    _demand_cache: dict = field(default_factory=dict, repr=False)
 
     def schedule(self, loop: Loop, ddg: DDG) -> KernelSchedule:
         if len(ddg.ops) == 0:
             raise ValueError("cannot pipeline an empty loop")
+        self._demand_cache = {}
         res_ii = resource_ii(ddg, self.machine)
         rec_ii = recurrence_ii(ddg)
         start_ii = max(res_ii, rec_ii)
@@ -117,52 +124,74 @@ class ModuloScheduler:
             # positive cycle: II below RecII for this subgraph
             return None, evictions
 
-        order_index = {op.op_id: i for i, op in enumerate(ddg.ops)}
-        by_id = {op.op_id: op for op in ddg.ops}
+        ops = ddg.ops
+        by_id = {op.op_id: op for op in ops}
 
-        mrt = ModuloReservationTable(self.machine, ii)
+        # Preallocated max-heap entries by (height, earlier-body-order)
+        # via negation; op_id makes every entry distinct, so pop order is
+        # a pure function of heap *contents* and re-pushes reuse the same
+        # tuple instead of building one per push.
+        entries: dict[int, tuple[int, int, int]] = {}
+        for i, op in enumerate(ops):
+            entries[op.op_id] = (-heights[op.op_id], i, op.op_id)
+
+        # Flat dependence rows with the II-dependent term folded in:
+        # preds[oid] = [(src_oid, delay - II*distance), ...] and succs
+        # likewise.  The placement loop below runs orders of magnitude
+        # more often than this O(E) setup, and each iteration then costs
+        # one dict probe and one add per edge instead of three attribute
+        # chains and a multiply.
+        preds: dict[int, list[tuple[int, int]]] = {}
+        succs: dict[int, list[tuple[int, int]]] = {}
+        for op in ops:
+            oid = op.op_id
+            preds[oid] = [
+                (dep.src.op_id, dep.delay - ii * dep.distance)
+                for dep in ddg.predecessors(op)
+            ]
+            succs[oid] = [
+                (dep.dst.op_id, dep.delay - ii * dep.distance)
+                for dep in ddg.successors(op)
+            ]
+
+        mrt = make_mrt(
+            self.machine, ii, backend=self.mrt_backend,
+            demands=self._demand_cache,
+        )
         times: dict[int, int] = {}
+        times_get = times.get
         prev_time: dict[int, int] = {}
-        budget = self.budget_ratio * len(ddg.ops)
+        budget = self.budget_ratio * len(ops)
 
-        # max-heap by (height, earlier-body-order) via negation
-        def push(heap, op):
-            heapq.heappush(heap, (-heights[op.op_id], order_index[op.op_id], op.op_id))
-
-        heap: list[tuple[int, int, int]] = []
-        for op in ddg.ops:
-            push(heap, op)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heap = [entries[op.op_id] for op in ops]
+        heapq.heapify(heap)
 
         while heap and budget > 0:
-            _, _, oid = heapq.heappop(heap)
+            _, _, oid = heappop(heap)
             if oid in times:
                 continue  # stale entry
             op = by_id[oid]
             budget -= 1
 
             estart = 0
-            for dep in ddg.predecessors(op):
-                src_t = times.get(dep.src.op_id)
-                if src_t is None:
-                    continue
-                estart = max(estart, src_t + dep.delay - ii * dep.distance)
-            estart = max(estart, 0)
+            for src_oid, lag in preds[oid]:
+                src_t = times_get(src_oid)
+                if src_t is not None:
+                    cand = src_t + lag
+                    if cand > estart:
+                        estart = cand
 
-            slot = None
-            for t in range(estart, estart + ii):
-                if mrt.fits(op, t):
-                    slot = t
-                    break
-            forced = slot is None
-            if forced:
+            # the whole [estart, estart + II) probe window in one query
+            slot = mrt.first_free(op, estart)
+            if slot is None:
                 prev = prev_time.get(oid)
                 slot = estart if prev is None or prev + 1 < estart else prev + 1
-
-            if forced:
                 for victim_id in mrt.conflicting_ops(op, slot):
                     mrt.remove(by_id[victim_id])
                     del times[victim_id]
-                    push(heap, by_id[victim_id])
+                    heappush(heap, entries[victim_id])
                     evictions += 1
                     if not mrt.fits(op, slot):
                         continue
@@ -173,19 +202,19 @@ class ModuloScheduler:
             prev_time[oid] = slot
 
             # evict scheduled successors whose dependence is now violated
-            for dep in ddg.successors(op):
-                dst_t = times.get(dep.dst.op_id)
-                if dst_t is None or dep.dst.op_id == oid:
+            for dst_oid, lag in succs[oid]:
+                dst_t = times_get(dst_oid)
+                if dst_t is None or dst_oid == oid:
                     continue
-                if dst_t < slot + dep.delay - ii * dep.distance:
-                    mrt.remove(dep.dst)
-                    del times[dep.dst.op_id]
-                    push(heap, dep.dst)
+                if dst_t < slot + lag:
+                    mrt.remove(by_id[dst_oid])
+                    del times[dst_oid]
+                    heappush(heap, entries[dst_oid])
                     evictions += 1
             # self-edges: placement at estart already satisfies them since
             # estart accounted for all scheduled predecessors including self
 
-        if len(times) == len(ddg.ops):
+        if len(times) == len(ops):
             return times, evictions
         return None, evictions
 
@@ -198,9 +227,10 @@ def modulo_schedule(
     max_ii: int | None = None,
     tracer: "object | None" = None,
     metrics: "object | None" = None,
+    mrt_backend: str | None = None,
 ) -> KernelSchedule:
     """Software-pipeline ``loop`` onto ``machine``; see :class:`ModuloScheduler`."""
     return ModuloScheduler(
         machine, budget_ratio=budget_ratio, max_ii=max_ii,
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, mrt_backend=mrt_backend,
     ).schedule(loop, ddg)

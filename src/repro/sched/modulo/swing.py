@@ -32,7 +32,7 @@ from repro.ddg.graph import DDG
 from repro.ir.block import Loop
 from repro.machine.machine import MachineDescription
 from repro.sched.modulo.scheduler import SchedulingError
-from repro.sched.resources import ModuloReservationTable
+from repro.sched.resources import make_mrt
 from repro.sched.schedule import KernelSchedule
 
 
@@ -41,6 +41,7 @@ def swing_modulo_schedule(
     ddg: DDG,
     machine: MachineDescription,
     max_ii: int | None = None,
+    mrt_backend: str | None = None,
 ) -> KernelSchedule:
     """Software-pipeline ``loop`` with SMS; see module docs."""
     if len(ddg.ops) == 0:
@@ -51,8 +52,9 @@ def swing_modulo_schedule(
     if cap < start_ii:
         raise SchedulingError(f"{loop.name!r}: max_ii={cap} below MinII={start_ii}")
 
+    demand_cache: dict = {}
     for ii in range(start_ii, cap + 1):
-        times = _try_ii(ddg, machine, ii)
+        times = _try_ii(ddg, machine, ii, mrt_backend, demand_cache)
         if times is not None:
             shift = min(times.values())
             times = {oid: t - shift for oid, t in times.items()}
@@ -121,11 +123,17 @@ def _order_nodes(ddg: DDG, ii: int) -> list | None:
     return [by_id[oid] for oid in ordered]
 
 
-def _try_ii(ddg: DDG, machine: MachineDescription, ii: int) -> dict[int, int] | None:
+def _try_ii(
+    ddg: DDG,
+    machine: MachineDescription,
+    ii: int,
+    mrt_backend: str | None = None,
+    demand_cache: dict | None = None,
+) -> dict[int, int] | None:
     order = _order_nodes(ddg, ii)
     if order is None:
         return None
-    mrt = ModuloReservationTable(machine, ii)
+    mrt = make_mrt(machine, ii, backend=mrt_backend, demands=demand_cache)
     times: dict[int, int] = {}
     by_id = {op.op_id: op for op in ddg.ops}
 

@@ -12,6 +12,37 @@ copies) take one FU slot in their cluster; copy-unit copies take one copy
 port in their destination cluster and one bus.  Operations without a
 cluster assignment — the monolithic ideal machine — draw from cluster 0,
 whose FU count is the full machine width.
+
+Modulo reservation tables come in three interchangeable backends,
+selected by :func:`make_mrt`:
+
+``packed`` (the default)
+    A machine's per-cycle resources are flattened into *pools* (one per
+    cluster FU file, one per cluster copy-port file, one for the bus
+    set) and a row's occupancy is a single Python int with an 8-bit
+    counter field per pool.  An operation's demand is a precomputed
+    *demand word* (a 1 in the low bit of each pool it consumes), so
+
+    * ``place``/``remove`` are one integer add/subtract,
+    * ``fits`` is one carry-detect add against a precomputed bias word
+      (guard bit of a pool field sets iff that pool would overflow),
+    * ``conflicting_ops`` is ``victim_word & demand_word`` per occupant,
+    * the scheduler's whole ``[estart, estart + II)`` probe
+      (``first_free``) is one tight loop of add-and-mask tests, with no
+      per-placement bookkeeping beyond the row word itself — iterative
+      scheduling under pressure is eviction-heavy, so placement state
+      must stay maintenance-free.
+
+``numpy``
+    The same pool model vectorized over NumPy arrays (one ``(II, pools)``
+    occupancy matrix per table).  Optional: requested explicitly at
+    runtime, never a hard dependency, and never a silent fallback — if
+    NumPy is missing, :func:`make_mrt` raises :class:`MRTBackendError`.
+
+``reference``
+    The original dict-of-:class:`SlotPool` bookkeeping, kept verbatim as
+    the golden oracle for the parity tests
+    (``tests/test_perf_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -53,6 +84,114 @@ def op_resource_demand(op: Operation, machine: MachineDescription) -> ResourceDe
     if demand is None:
         demand = _FU_DEMANDS[cluster] = ResourceDemand(fu_cluster=cluster)
     return demand
+
+
+# ----------------------------------------------------------------------
+# Packed resource geometry
+# ----------------------------------------------------------------------
+
+#: bits per pool counter field; capacities must stay below the guard bit
+_FIELD_BITS = 8
+_FIELD_MAX = (1 << (_FIELD_BITS - 1)) - 1  # 127
+
+
+class ResourceGeometry:
+    """Packed occupancy-word encoding of one machine shape.
+
+    Pools are laid out ``[fu_0..fu_{C-1}, copy_0..copy_{C-1}, bus]`` with
+    an ``_FIELD_BITS``-bit counter field each.  A demand word carries a 1
+    in the low bit of every pool the operation consumes; a row fits a
+    demand iff ``(occupancy + demand + bias) & guard == 0`` where
+    ``bias`` pre-loads each field with ``127 - capacity`` so the field's
+    top (guard) bit sets exactly on overflow.  Field arithmetic never
+    carries across pools: ``count + bias + 1 <= 128 < 2**_FIELD_BITS``.
+    """
+
+    __slots__ = (
+        "n_clusters", "n_pools", "caps", "bias", "guard", "copy_unit",
+        "_fu_words", "_copy_words", "_fu_pools", "_copy_pools",
+    )
+
+    def __init__(self, n_clusters: int, fus_per_cluster: int,
+                 copy_model: CopyModel, copy_ports: int, n_buses: int):
+        ports = copy_ports if copy_model is CopyModel.COPY_UNIT else 0
+        buses = n_buses if copy_model is CopyModel.COPY_UNIT else 0
+        caps = [fus_per_cluster] * n_clusters + [ports] * n_clusters + [buses]
+        if max(caps) > _FIELD_MAX:
+            raise ValueError(
+                f"resource capacity {max(caps)} exceeds the packed-field "
+                f"limit {_FIELD_MAX}; widen _FIELD_BITS"
+            )
+        self.n_clusters = n_clusters
+        self.n_pools = 2 * n_clusters + 1
+        self.caps = caps
+        self.copy_unit = copy_model is CopyModel.COPY_UNIT
+        w = _FIELD_BITS
+        self.guard = 0
+        self.bias = 0
+        for pool, cap in enumerate(caps):
+            self.guard |= 1 << (pool * w + w - 1)
+            self.bias |= (_FIELD_MAX - cap) << (pool * w)
+        bus_pool = 2 * n_clusters
+        self._fu_words = [1 << (c * w) for c in range(n_clusters)]
+        self._copy_words = [
+            (1 << ((n_clusters + c) * w)) | (1 << (bus_pool * w))
+            for c in range(n_clusters)
+        ]
+        self._fu_pools = [(c,) for c in range(n_clusters)]
+        self._copy_pools = [
+            (n_clusters + c, bus_pool) for c in range(n_clusters)
+        ]
+
+    def demand_word(self, op: Operation, machine: MachineDescription) -> int:
+        """The packed demand word of ``op`` (mirrors
+        :func:`op_resource_demand`, including cluster validation)."""
+        cluster = op.cluster if op.cluster is not None else 0
+        machine.validate_cluster(cluster if machine.is_clustered else None)
+        if not (0 <= cluster < self.n_clusters):
+            raise IndexError(
+                f"cluster {cluster} out of range for {self.n_clusters}-pool "
+                f"geometry"
+            )
+        if op.is_copy and self.copy_unit:
+            return self._copy_words[cluster]
+        return self._fu_words[cluster]
+
+    def demand_pools(self, op: Operation, machine: MachineDescription) -> tuple[int, ...]:
+        """Pool indices ``op`` consumes (for the vectorized backend)."""
+        cluster = op.cluster if op.cluster is not None else 0
+        machine.validate_cluster(cluster if machine.is_clustered else None)
+        if not (0 <= cluster < self.n_clusters):
+            raise IndexError(
+                f"cluster {cluster} out of range for {self.n_clusters}-pool "
+                f"geometry"
+            )
+        if op.is_copy and self.copy_unit:
+            return self._copy_pools[cluster]
+        return self._fu_pools[cluster]
+
+
+#: geometry cache — machines are few and geometries depend only on shape
+_GEOMETRIES: dict[tuple, ResourceGeometry] = {}
+
+
+def resource_geometry(machine: MachineDescription) -> ResourceGeometry:
+    """The (cached) packed geometry of ``machine``."""
+    key = (
+        machine.n_clusters,
+        machine.fus_per_cluster,
+        machine.copy_model.value,
+        machine.copy_ports_per_cluster,
+        machine.n_buses,
+    )
+    geom = _GEOMETRIES.get(key)
+    if geom is None:
+        geom = _GEOMETRIES[key] = ResourceGeometry(
+            machine.n_clusters, machine.fus_per_cluster,
+            machine.copy_model, machine.copy_ports_per_cluster,
+            machine.n_buses,
+        )
+    return geom
 
 
 @dataclass
@@ -150,9 +289,210 @@ class ReservationTable:
         return len(self.rows)
 
 
+# ----------------------------------------------------------------------
+# Modulo reservation table backends
+# ----------------------------------------------------------------------
+
+
+class PackedModuloReservationTable:
+    """Fixed-II modulo reservation table on packed occupancy words.
+
+    Row ``t mod II`` must accommodate every operation issued at absolute
+    time ``t``; placement and removal support the iterative scheduler's
+    eviction mechanism.  See the module docs for the encoding; the public
+    surface matches the reference backend exactly.
+    """
+
+    __slots__ = (
+        "machine", "ii", "geom", "_occ", "_bias", "_guard",
+        "_placed", "_row_ops", "_demands",
+    )
+
+    def __init__(self, machine: MachineDescription, ii: int,
+                 demands: dict[int, int] | None = None):
+        if ii < 1:
+            raise ValueError("II must be positive")
+        self.machine = machine
+        self.ii = ii
+        self.geom = resource_geometry(machine)
+        self._bias = self.geom.bias
+        self._guard = self.geom.guard
+        #: one packed occupancy word per kernel row
+        self._occ = [0] * ii
+        #: op_id -> (time, demand word)
+        self._placed: dict[int, tuple[int, int]] = {}
+        #: per-row op_id -> demand word; insertion order mirrors placement
+        #: order, so eviction-candidate order matches the reference
+        self._row_ops: list[dict[int, int]] = [dict() for _ in range(ii)]
+        #: per-op demand-word memo, shareable across II retries (the word
+        #: depends only on the op and the machine, never the II)
+        self._demands: dict[int, int] = demands if demands is not None else {}
+
+    # The demand lookup is open-coded in every public method: the
+    # iterative scheduler calls these hundreds of thousands of times per
+    # corpus run and an extra bound-method frame per call is measurable.
+
+    def fits(self, op: Operation, time: int) -> bool:
+        word = self._demands.get(op.op_id)
+        if word is None:
+            word = self._demands[op.op_id] = self.geom.demand_word(op, self.machine)
+        return not ((self._occ[time % self.ii] + word + self._bias) & self._guard)
+
+    def first_free(self, op: Operation, estart: int) -> int | None:
+        """First ``t`` in ``[estart, estart + II)`` where ``op`` fits, or
+        None — the scheduler's whole probe window in one tight loop of
+        carry-detect adds (one per row, no temporary objects)."""
+        word = self._demands.get(op.op_id)
+        if word is None:
+            word = self._demands[op.op_id] = self.geom.demand_word(op, self.machine)
+        occ = self._occ
+        probe = word + self._bias
+        guard = self._guard
+        ii = self.ii
+        r = estart % ii
+        for k in range(ii):
+            if not ((occ[r] + probe) & guard):
+                return estart + k
+            r += 1
+            if r == ii:
+                r = 0
+        return None
+
+    def place(self, op: Operation, time: int) -> None:
+        oid = op.op_id
+        if oid in self._placed:
+            raise ValueError(f"operation already placed: {op!r}")
+        word = self._demands.get(oid)
+        if word is None:
+            word = self._demands[oid] = self.geom.demand_word(op, self.machine)
+        row = time % self.ii
+        if (self._occ[row] + word + self._bias) & self._guard:
+            raise ValueError("resource over-subscription")
+        self._occ[row] += word
+        self._placed[oid] = (time, word)
+        self._row_ops[row][oid] = word
+
+    def remove(self, op: Operation) -> int:
+        """Unplace ``op``; returns the time it had been scheduled at."""
+        time, word = self._placed.pop(op.op_id)
+        row = time % self.ii
+        self._occ[row] -= word
+        del self._row_ops[row][op.op_id]
+        return time
+
+    def is_placed(self, op: Operation) -> bool:
+        return op.op_id in self._placed
+
+    def time_of(self, op: Operation) -> int:
+        return self._placed[op.op_id][0]
+
+    def conflicting_ops(self, op: Operation, time: int) -> list[int]:
+        """Op-ids currently occupying a resource ``op`` needs in row
+        ``time mod II`` — candidates for eviction when placement is
+        forced.  Two demand words share a pool iff their AND is nonzero
+        (each carries single low bits in the pools it consumes)."""
+        word = self._demands.get(op.op_id)
+        if word is None:
+            word = self._demands[op.op_id] = self.geom.demand_word(op, self.machine)
+        return [
+            oid for oid, w in self._row_ops[time % self.ii].items() if w & word
+        ]
+
+
+class NumpyModuloReservationTable:
+    """The pool model vectorized over NumPy (optional backend).
+
+    One ``(II, n_pools)`` int32 occupancy matrix; ``fits`` compares a row
+    plus the op's demand vector against the capacity vector, and
+    ``first_free`` evaluates the whole probe window in one vectorized
+    comparison.  Results are integer-exact and byte-identical to the
+    packed and reference backends.
+    """
+
+    __slots__ = (
+        "machine", "ii", "geom", "_np", "_occ", "_caps",
+        "_placed", "_row_ops", "_demands",
+    )
+
+    def __init__(self, machine: MachineDescription, ii: int,
+                 demands: dict | None = None):
+        if ii < 1:
+            raise ValueError("II must be positive")
+        import numpy as np
+
+        self._np = np
+        self.machine = machine
+        self.ii = ii
+        self.geom = resource_geometry(machine)
+        self._occ = np.zeros((ii, self.geom.n_pools), dtype=np.int32)
+        self._caps = np.asarray(self.geom.caps, dtype=np.int32)
+        self._placed: dict[int, tuple[int, object]] = {}
+        self._row_ops: list[dict[int, int]] = [dict() for _ in range(ii)]
+        #: op_id -> (demand vector, packed word for pool-sharing tests)
+        self._demands: dict[int, tuple] = demands if demands is not None else {}
+
+    def _demand(self, op: Operation):
+        entry = self._demands.get(op.op_id)
+        if entry is None:
+            vec = self._np.zeros(self.geom.n_pools, dtype=self._np.int32)
+            for pool in self.geom.demand_pools(op, self.machine):
+                vec[pool] = 1
+            entry = self._demands[op.op_id] = (
+                vec, self.geom.demand_word(op, self.machine)
+            )
+        return entry
+
+    def fits(self, op: Operation, time: int) -> bool:
+        vec, _word = self._demand(op)
+        row = time % self.ii
+        return bool(((self._occ[row] + vec) <= self._caps).all())
+
+    def first_free(self, op: Operation, estart: int) -> int | None:
+        vec, _word = self._demand(op)
+        ok = ((self._occ + vec) <= self._caps).all(axis=1)
+        s = estart % self.ii
+        order = self._np.concatenate((ok[s:], ok[:s]))
+        k = int(order.argmax())
+        if not order[k]:
+            return None
+        return estart + k
+
+    def place(self, op: Operation, time: int) -> None:
+        if op.op_id in self._placed:
+            raise ValueError(f"operation already placed: {op!r}")
+        vec, word = self._demand(op)
+        row = time % self.ii
+        if not ((self._occ[row] + vec) <= self._caps).all():
+            raise ValueError("resource over-subscription")
+        self._occ[row] += vec
+        self._placed[op.op_id] = (time, vec)
+        self._row_ops[row][op.op_id] = word
+
+    def remove(self, op: Operation) -> int:
+        time, vec = self._placed.pop(op.op_id)
+        row = time % self.ii
+        self._occ[row] -= vec
+        del self._row_ops[row][op.op_id]
+        return time
+
+    def is_placed(self, op: Operation) -> bool:
+        return op.op_id in self._placed
+
+    def time_of(self, op: Operation) -> int:
+        return self._placed[op.op_id][0]
+
+    def conflicting_ops(self, op: Operation, time: int) -> list[int]:
+        _vec, word = self._demand(op)
+        return [
+            oid for oid, w in self._row_ops[time % self.ii].items() if w & word
+        ]
+
+
 @dataclass
-class ModuloReservationTable:
-    """Fixed-II modulo reservation table (Rau, Section 2).
+class ReferenceModuloReservationTable:
+    """Fixed-II modulo reservation table (Rau, Section 2) — the original
+    dict-of-:class:`SlotPool` implementation, kept verbatim as the golden
+    oracle for the packed and NumPy backends.
 
     Row ``t mod II`` must accommodate every operation issued at absolute
     time ``t``; placement and removal support the iterative scheduler's
@@ -161,6 +501,7 @@ class ModuloReservationTable:
 
     machine: MachineDescription
     ii: int
+    demands: dict[int, ResourceDemand] | None = None
     rows: list[SlotPool] = field(init=False)
     _placed: dict[int, tuple[int, ResourceDemand]] = field(default_factory=dict)
     #: per-row op_id -> demand occupancy index; insertion order mirrors
@@ -169,13 +510,14 @@ class ModuloReservationTable:
     _row_ops: list[dict[int, ResourceDemand]] = field(init=False)
     #: per-op demand memo — the scheduler probes ``fits`` across a whole
     #: ``[estart, estart + II)`` window for the same op
-    _demands: dict[int, ResourceDemand] = field(default_factory=dict)
+    _demands: dict[int, ResourceDemand] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.ii < 1:
             raise ValueError("II must be positive")
         self.rows = [SlotPool(self.machine) for _ in range(self.ii)]
         self._row_ops = [{} for _ in range(self.ii)]
+        self._demands = self.demands if self.demands is not None else {}
 
     def row_of(self, time: int) -> SlotPool:
         return self.rows[time % self.ii]
@@ -188,6 +530,13 @@ class ModuloReservationTable:
 
     def fits(self, op: Operation, time: int) -> bool:
         return self.rows[time % self.ii].fits(self._demand(op))
+
+    def first_free(self, op: Operation, estart: int) -> int | None:
+        """First ``t`` in ``[estart, estart + II)`` where ``op`` fits."""
+        for t in range(estart, estart + self.ii):
+            if self.fits(op, t):
+                return t
+        return None
 
     def place(self, op: Operation, time: int) -> None:
         if op.op_id in self._placed:
@@ -227,3 +576,53 @@ class ModuloReservationTable:
             if same_fu or same_copy or same_bus:
                 out.append(oid)
         return out
+
+
+#: the default backend is also exported under the historical name — every
+#: in-tree construction site that doesn't thread an explicit backend
+#: (validation, tests) gets the packed implementation transparently
+ModuloReservationTable = PackedModuloReservationTable
+
+DEFAULT_MRT_BACKEND = "packed"
+
+MRT_BACKENDS = ("packed", "numpy", "reference")
+
+
+class MRTBackendError(RuntimeError):
+    """An unknown or unavailable MRT backend was requested."""
+
+
+def numpy_available() -> bool:
+    """Is the optional NumPy backend importable?"""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def make_mrt(machine: MachineDescription, ii: int,
+             backend: str | None = None, demands: dict | None = None):
+    """Construct a modulo reservation table with the selected backend.
+
+    ``demands`` optionally shares a per-op demand cache across tables
+    (the iterative scheduler passes one dict through all its II retries;
+    values are backend-specific, so never share a dict across backends).
+    ``backend="numpy"`` raises :class:`MRTBackendError` when NumPy is not
+    importable — an explicit request never falls back silently.
+    """
+    name = backend or DEFAULT_MRT_BACKEND
+    if name == "packed":
+        return PackedModuloReservationTable(machine, ii, demands=demands)
+    if name == "reference":
+        return ReferenceModuloReservationTable(machine, ii, demands=demands)
+    if name == "numpy":
+        if not numpy_available():
+            raise MRTBackendError(
+                "mrt backend 'numpy' requested but numpy is not importable; "
+                "use the pure-python 'packed' backend instead"
+            )
+        return NumpyModuloReservationTable(machine, ii, demands=demands)
+    raise MRTBackendError(
+        f"unknown mrt backend {name!r}; available: {', '.join(MRT_BACKENDS)}"
+    )
