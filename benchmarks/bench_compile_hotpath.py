@@ -240,6 +240,13 @@ def run_benchmark(quick_n: int = QUICK_N, repeats: int = REPEATS) -> dict:
                 f"{warm_run.store_invalid} invalid"
             )
 
+    # serve leg: the daemon's warm-request path.  A real `repro serve`
+    # subprocess on an ephemeral port, one cold submission to populate
+    # its store, then repeated warm submissions — measuring the full
+    # request round-trip (TCP + line-JSON + store metrics fast path)
+    # that a served client actually pays.  Informational, not gated.
+    serve_leg = serve_benchmark(quick_n=min(quick_n, 8), repeats=repeats)
+
     from repro.sched.resources import DEFAULT_MRT_BACKEND
 
     return {
@@ -264,7 +271,67 @@ def run_benchmark(quick_n: int = QUICK_N, repeats: int = REPEATS) -> dict:
             "warm_speedup": round(cold_wall / best_warm, 1),
             "warm_hits": warm_run.store_hits,
         },
+        "serve": serve_leg,
         "micro": micro_benchmark(repeats=repeats),
+    }
+
+
+def serve_benchmark(quick_n: int = 8, repeats: int = REPEATS) -> dict:
+    """Warm-request latency against a live ``repro serve`` daemon."""
+    import os
+    import re
+    import subprocess
+    import tempfile
+
+    from repro.serve.client import ServeClient
+    from repro.workloads.corpus import spec95_corpus
+
+    loops = spec95_corpus(n=quick_n)
+    with tempfile.TemporaryDirectory() as store_dir:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--store", store_dir, "--port", "0", "--jobs", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        try:
+            m = re.search(r"listening on ([\d.]+):(\d+)",
+                          proc.stdout.readline())
+            host, port = m.group(1), int(m.group(2))
+            with ServeClient(host, port, timeout=600.0) as client:
+                t0 = time.perf_counter()
+                cold = client.submit(loops)
+                cold_wall = time.perf_counter() - t0
+                if cold.failures:
+                    raise RuntimeError(f"served cold pass failed: {cold}")
+                best_warm = None
+                warm = None
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    warm = client.submit(loops)
+                    wall = time.perf_counter() - t0
+                    if best_warm is None or wall < best_warm:
+                        best_warm = wall
+                if warm.compiled or warm.failures:
+                    raise RuntimeError(
+                        f"served warm pass was not fully warm: "
+                        f"{warm.compiled} compiled, {warm.failures} failures"
+                    )
+                client.shutdown()
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            proc.stdout.close()
+    return {
+        "loops": quick_n,
+        "cells": len(cold.cells),
+        "cold_request_seconds": round(cold_wall, 4),
+        "warm_request_seconds": round(best_warm, 4),
+        "warm_request_ms_per_cell": round(best_warm * 1e3 / len(warm.cells), 3),
+        "warm_speedup": round(cold_wall / best_warm, 1),
+        "warm_store_hits": warm.store_hits,
     }
 
 

@@ -417,6 +417,79 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import serve_forever
+
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs requires at least one worker")
+    if args.queue < 1:
+        raise SystemExit("error: --queue requires a positive cell bound")
+    pipeline_config = PipelineConfig(
+        run_regalloc=args.regalloc, mrt_backend=args.mrt_backend,
+    )
+    _open_store(args.store)  # fail early on an unusable store directory
+    return serve_forever(
+        args.store,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cell_timeout=args.timeout,
+        queue_limit=args.queue,
+        pipeline_config=pipeline_config,
+        metrics_out=args.metrics_out,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        client = ServeClient(args.host, args.port, timeout=args.connect_timeout)
+    except OSError as exc:
+        raise SystemExit(
+            f"error: cannot reach daemon at {args.host}:{args.port} ({exc})"
+        ) from exc
+    with client:
+        try:
+            if args.ping:
+                print(json.dumps(client.ping(), sort_keys=True))
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), sort_keys=True, indent=2))
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                print("daemon draining")
+                return 0
+            if not args.loops:
+                raise SystemExit("error: submit requires at least one loop")
+            loops = [_load_loop(spec) for spec in args.loops]
+            configs = (
+                [s.strip() for s in args.configs.split(",") if s.strip()]
+                if args.configs else None
+            )
+
+            def show(cell) -> None:
+                if cell.ok:
+                    print(f"{cell.loop_name:16s} {cell.config:24s} "
+                          f"[{cell.source:8s}] II={cell.metrics.partitioned_ii}")
+                else:
+                    print(f"{cell.loop_name:16s} {cell.config:24s} "
+                          f"[{cell.failure.kind}] {cell.failure.error}")
+
+            result = client.submit(
+                loops, configs=configs, deadline=args.deadline, on_cell=show,
+            )
+        except ServeError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+    print(f"{len(result.cells)} cells in {result.elapsed_ms} ms: "
+          f"{result.store_hits} store hits, {result.inflight_hits} in-flight "
+          f"hits, {result.compiled} compiled, {result.failures} failures")
+    return 1 if result.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -588,6 +661,66 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--clusters", type=int, default=4, choices=(2, 4, 8))
     t.add_argument("--seed", type=int, default=0)
     t.set_defaults(func=cmd_tune)
+
+    from repro.serve.protocol import DEFAULT_PORT, DEFAULT_QUEUE_LIMIT
+
+    v = sub.add_parser(
+        "serve",
+        help="batch-compile daemon: serve warm cells from the store, "
+             "shard cold cells over worker processes",
+    )
+    v.add_argument("--store", metavar="DIR", required=True,
+                   help="artifact store backing the service (created if "
+                        "missing); warm requests are answered from it "
+                        "without compiling")
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=DEFAULT_PORT, metavar="P",
+                   help=f"TCP port (default: {DEFAULT_PORT}; 0 binds an "
+                        f"ephemeral port, printed on startup)")
+    v.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="compile worker processes (default: 1)")
+    v.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell compile budget; an exceeding cell becomes "
+                        "a timeout failure")
+    v.add_argument("--queue", type=int, default=DEFAULT_QUEUE_LIMIT,
+                   metavar="N",
+                   help="admission bound: refuse submissions that would "
+                        "leave more than N cold cells pending "
+                        f"(default: {DEFAULT_QUEUE_LIMIT})")
+    v.add_argument("--regalloc", action="store_true",
+                   help="run register allocation (same default as evaluate)")
+    v.add_argument(
+        "--mrt-backend", choices=("packed", "numpy", "reference"),
+        default="packed",
+    )
+    v.add_argument("--metrics-out", metavar="PATH",
+                   help="write the final stats document (request counters, "
+                        "store hit rates) as JSON on shutdown")
+    v.set_defaults(func=cmd_serve)
+
+    b = sub.add_parser(
+        "submit", help="submit loops to a running compile daemon"
+    )
+    b.add_argument("loops", nargs="*",
+                   help="named kernels or paths to textual IR files")
+    b.add_argument("--host", default="127.0.0.1")
+    b.add_argument("--port", type=int, default=DEFAULT_PORT, metavar="P")
+    b.add_argument("--configs", metavar="SPECS",
+                   help="comma-separated config specs like "
+                        "'4/embedded,8/copy_unit' (default: the paper's "
+                        "six-column grid)")
+    b.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-request budget; unfinished cells come back as "
+                        "timeout failures")
+    b.add_argument("--connect-timeout", type=float, default=60.0,
+                   metavar="SECONDS", help="socket timeout (default: 60)")
+    b.add_argument("--ping", action="store_true",
+                   help="just check the daemon is up")
+    b.add_argument("--stats", action="store_true",
+                   help="print the daemon's stats document")
+    b.add_argument("--shutdown", action="store_true",
+                   help="ask the daemon to drain and exit")
+    b.set_defaults(func=cmd_submit)
     return parser
 
 

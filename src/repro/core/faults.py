@@ -77,6 +77,14 @@ def deadline(seconds: float | None) -> Iterator[None]:
     through CPU-bound pure-Python work, which ``threading``-based
     watchdogs cannot interrupt.  The previous ``SIGALRM`` disposition is
     restored on exit, so deadlines may wrap code that also uses alarms.
+
+    Deadlines **nest**: ``setitimer`` returns the budget the enclosing
+    deadline still had when the inner one armed, and the inner context
+    re-arms that remainder (less its own elapsed wall time) on exit.  An
+    outer per-request budget wrapping inner per-cell budgets therefore
+    still fires once the inner blocks are done; if the outer budget ran
+    out while an inner deadline held the timer, it fires immediately
+    after the inner context exits.
     """
     if seconds is None or seconds <= 0 or not _deadline_supported():
         yield
@@ -86,12 +94,21 @@ def deadline(seconds: float | None) -> Iterator[None]:
         raise DeadlineExceeded(seconds)
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    armed_at = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_remaining > 0.0:
+            # an enclosing deadline (or raw alarm) was ticking when we
+            # replaced the timer: give it back whatever it has left; an
+            # already-expired budget fires at the next opportunity
+            elapsed = time.monotonic() - armed_at
+            signal.setitimer(
+                signal.ITIMER_REAL, max(outer_remaining - elapsed, 1e-6)
+            )
 
 
 def call_with_deadline(

@@ -545,15 +545,22 @@ def _fill_parallel(
         while not_done:
             finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
             for fut in finished:
+                # only failures that crossed the process boundary poison a
+                # chunk (a dead worker breaks the pool; an unpicklable
+                # payload/result surfaces here as the future's exception).
+                # absorb() runs outside the try: a merge/accounting bug in
+                # the coordinator is a real bug and must propagate, not be
+                # retried in isolation and misreported as a worker crash.
                 try:
-                    absorb(fut.result())
+                    result = fut.result()
                 except Exception:
                     poisoned.append(futures[fut])
-                    continue
-                finally:
-                    done += 1
-                    if progress:
-                        print(f"  chunk {done}/{len(chunks)} done", file=sys.stderr)
+                    result = None
+                done += 1
+                if progress:
+                    print(f"  chunk {done}/{len(chunks)} done", file=sys.stderr)
+                if result is not None:
+                    absorb(result)
 
     if not poisoned:
         return
@@ -575,8 +582,10 @@ def _fill_parallel(
                     single, configs, pipeline_config, timeout, skip_for(single), 2,
                     tracer is not None, collect_metrics, store_path,
                 )
+                # same split as phase 1: only the cross-process failure is
+                # a crash; absorb() errors propagate
                 try:
-                    absorb(pool.submit(_compile_chunk, payload).result())
+                    result = pool.submit(_compile_chunk, payload).result()
                 except Exception as exc:
                     for label in labels:
                         if (idx, label) in done_keys:
@@ -595,5 +604,7 @@ def _fill_parallel(
                     # the pool is broken if the worker died; start fresh
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = ProcessPoolExecutor(max_workers=1)
+                else:
+                    absorb(result)
     finally:
         pool.shutdown()

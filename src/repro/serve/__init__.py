@@ -1,0 +1,31 @@
+"""Batch-compile service: asyncio daemon, wire protocol, blocking client.
+
+``repro serve`` turns the artifact store into a long-running compile
+service; ``repro submit`` (and :class:`ServeClient`) talk to it.  See
+:mod:`repro.serve.protocol` for the wire format and
+:mod:`repro.serve.server` for admission/dedup/drain semantics.
+"""
+
+from repro.serve.client import CellResult, ServeClient, ServeError, SubmitResult
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    DEFAULT_QUEUE_LIMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_config_spec,
+)
+from repro.serve.server import CompileService, serve_forever
+
+__all__ = [
+    "CellResult",
+    "CompileService",
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_LIMIT",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "SubmitResult",
+    "parse_config_spec",
+    "serve_forever",
+]

@@ -213,23 +213,52 @@ class DiskStore:
         ``max_entries`` of the remainder.  Entry files are rewritten on
         every store write, so mtime tracks last (re)compute, which is the
         retention signal a shared cache wants.
+
+        gc stats first and deletes after, and concurrent writers (a warm
+        evaluation, a serve daemon) may land an ``os.replace`` in
+        between; each deletion therefore goes through
+        :meth:`_remove_stale`, which recounts the entry's mtime and keeps
+        anything rewritten since it was judged.
         """
-        survivors: list[tuple[float, str]] = []
+        survivors: list[tuple[int, str]] = []
         removed: list[str] = []
         now = time.time()
         for digest in self.digests():
             try:
-                mtime = self._path_for(digest).stat().st_mtime
+                mtime_ns = self._path_for(digest).stat().st_mtime_ns
             except OSError:
                 continue
-            if max_age_days is not None and now - mtime > max_age_days * 86400.0:
-                if self.delete(digest):
+            if (max_age_days is not None
+                    and now - mtime_ns * 1e-9 > max_age_days * 86400.0):
+                if self._remove_stale(digest, mtime_ns):
                     removed.append(digest)
                 continue
-            survivors.append((mtime, digest))
+            survivors.append((mtime_ns, digest))
         if max_entries is not None and len(survivors) > max_entries:
             survivors.sort()  # oldest first
-            for _, digest in survivors[: len(survivors) - max_entries]:
-                if self.delete(digest):
+            for mtime_ns, digest in survivors[: len(survivors) - max_entries]:
+                if self._remove_stale(digest, mtime_ns):
                     removed.append(digest)
         return removed
+
+    def _remove_stale(self, digest: str, seen_mtime_ns: int) -> bool:
+        """Delete ``digest`` only if it still carries the mtime gc judged.
+
+        A concurrent writer rewriting the entry between gc's stat and the
+        delete replaces the file (new mtime): the rewritten entry is no
+        longer the stale one retention condemned, so it survives and is
+        not reported as removed.  The remaining stat→unlink window is
+        harmless — entries are content-addressed, so the worst outcome of
+        losing it is one warm miss, never a wrong artifact.
+        """
+        path = self._path_for(digest)
+        try:
+            if path.stat().st_mtime_ns != seen_mtime_ns:
+                return False
+        except OSError:
+            return False
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True

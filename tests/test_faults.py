@@ -72,6 +72,54 @@ class TestDeadline:
         assert signal.getsignal(signal.SIGALRM) is before
 
 
+class TestNestedDeadline:
+    """Regression: nested ``deadline()`` calls must not lose the outer
+    budget.  The inner block's exit used to run ``setitimer(ITIMER_REAL,
+    0.0)`` unconditionally, cancelling the outer timer — code after a
+    completed inner deadline then ran with no budget at all (the serve
+    workers stack a per-cell timeout inside a per-request budget, which
+    is exactly this shape)."""
+
+    def test_outer_budget_survives_completed_inner(self):
+        # fails on the unfixed code: the outer timer is cancelled by the
+        # inner exit, the sleep completes, and no DeadlineExceeded raises
+        with pytest.raises(DeadlineExceeded) as info:
+            with deadline(0.4):
+                with deadline(5.0):
+                    time.sleep(0.05)  # inner finishes well under budget
+                time.sleep(2.0)  # outer must still fire here
+        assert info.value.seconds == 0.4
+
+    def test_outer_remaining_reduced_by_inner_elapsed(self):
+        # the restored outer budget is what *remains*, not a fresh start
+        t0 = time.monotonic()
+        with pytest.raises(DeadlineExceeded) as info:
+            with deadline(0.5):
+                with deadline(5.0):
+                    time.sleep(0.3)
+                time.sleep(2.0)
+        elapsed = time.monotonic() - t0
+        assert info.value.seconds == 0.5
+        assert 0.4 <= elapsed < 1.5  # ~0.5s total, not 0.3 + 0.5
+
+    def test_inner_fires_inside_outer(self):
+        with pytest.raises(DeadlineExceeded) as info:
+            with deadline(30.0):
+                with deadline(0.1):
+                    time.sleep(5)
+        assert info.value.seconds == 0.1
+
+    def test_timer_clean_after_nested_exit(self):
+        before = signal.getsignal(signal.SIGALRM)
+        with deadline(5.0):
+            with deadline(1.0):
+                pass
+            # between the blocks the outer budget must be armed
+            assert 0.0 < signal.getitimer(signal.ITIMER_REAL)[0] <= 5.0
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+        assert signal.getsignal(signal.SIGALRM) is before
+
+
 class TestRetry:
     def test_first_attempt_success(self):
         value, attempts = retry(lambda attempt: attempt * 10, attempts=3)
@@ -195,6 +243,30 @@ class TestRunnerCrash:
         for label, metrics in clean.per_config.items():
             survivors = [m for m in metrics if m.loop_name != loops[2].name]
             assert run.per_config[label] == survivors
+
+
+class TestAbsorbErrorsPropagate:
+    """Regression: the parallel runner's chunk loop used to wrap
+    ``absorb(fut.result())`` in one bare ``except Exception``, so a
+    merge/accounting bug in the coordinator was retried in isolation and
+    misreported as a worker crash.  Only failures that crossed the
+    process boundary may poison a chunk; absorb-side errors are real
+    bugs and must propagate."""
+
+    def test_absorb_bug_propagates_instead_of_poisoning(self, monkeypatch):
+        import repro.evalx.runner as runner_mod
+
+        def boom(self, stats):
+            raise RuntimeError("absorb-side accounting bug")
+
+        # absorb_cache_stats runs only in the coordinating process, on
+        # every successfully returned chunk
+        monkeypatch.setattr(runner_mod.EvalRun, "absorb_cache_stats", boom)
+        with pytest.raises(RuntimeError, match="absorb-side accounting bug"):
+            run_evaluation(
+                loops=spec95_corpus(n=2), config=CONFIG,
+                configs=ONE_CONFIG, jobs=2,
+            )
 
 
 class TestAcceptance:

@@ -210,6 +210,43 @@ def test_disk_store_gc(tmp_path, compiled, machine):
     assert disk.digests() == []
 
 
+def test_disk_store_gc_spares_concurrently_rewritten_entry(
+    tmp_path, compiled, machine, monkeypatch
+):
+    """Regression for the stat→delete race: gc judges an entry stale,
+    a concurrent writer's ``os.replace`` lands before the unlink, and
+    gc used to delete the freshly rewritten entry anyway.  The deletion
+    now recounts the mtime and keeps anything rewritten since."""
+    loop, result = compiled
+    disk = DiskStore(tmp_path / "store")
+    entry = StoreEntry.from_result(store_key(loop, machine, CONFIG), result)
+    digests = [f"{i:02x}" + "0" * 62 for i in range(4)]
+    for i, digest in enumerate(digests):
+        disk.put(digest, entry)
+        os.utime(disk._path_for(digest), (1000 + i, 1000 + i))
+    victim = digests[0]
+
+    real_remove = DiskStore._remove_stale
+
+    def racing_remove(self, digest, seen_mtime_ns):
+        if digest == victim:
+            # the concurrent writer wins the race: the entry is
+            # rewritten (os.replace, fresh mtime) between gc's stat
+            # and its deletion attempt
+            self.put(digest, entry)
+        return real_remove(self, digest, seen_mtime_ns)
+
+    monkeypatch.setattr(DiskStore, "_remove_stale", racing_remove)
+    removed = disk.gc(max_age_days=1e-9)  # everything looks ancient
+
+    # the rewritten entry survives and is not reported as removed;
+    # the genuinely stale ones are gone
+    assert victim not in removed
+    assert sorted(removed) == sorted(digests[1:])
+    assert disk.digests() == [victim]
+    assert disk.get(victim) is not None
+
+
 def test_disk_verify_flags_corruption_and_mislabeled_entries(
     tmp_path, compiled, machine
 ):
