@@ -151,10 +151,47 @@ def micro_benchmark(repeats: int = REPEATS) -> dict:
         rate = len(rcg) * rounds / (time.perf_counter() - t0)
         best = rate if best is None or rate > best else best
 
+    # Informational exact-solver leg: branch-and-bound search-node
+    # throughput under a fixed node cap.  The biggest corpus loop at 8
+    # capacity-constrained banks saturates the cap (the 4-bank problems
+    # all prove out in tens of nodes), so the rate tracks per-node solver
+    # cost (bound evaluation, memo probes, trail undo) across revisions
+    # rather than problem difficulty.  Recorded in BENCH_compile.json
+    # history; check_perf_regression reports it but does not gate on it.
+    from repro.core.weights import DEFAULT_HEURISTIC, build_rcg_from_kernel
+    from repro.ddg.builder import build_loop_ddg
+    from repro.exact.bnb import solve_exact
+    from repro.exact.cost import build_problem
+    from repro.machine.presets import ideal_machine
+    from repro.sched.modulo.scheduler import modulo_schedule
+    from repro.workloads.corpus import spec95_corpus
+
+    exact_loop = max(spec95_corpus(n=24), key=lambda l: (len(l.ops), l.name))
+    exact_node_limit = 20_000
+    exact_banks = 8
+    ddg = build_loop_ddg(exact_loop)
+    ideal = modulo_schedule(exact_loop, ddg, ideal_machine())
+    slots = (16 // exact_banks) * ideal.ii
+    exact_rcg = build_rcg_from_kernel(ideal, ddg, DEFAULT_HEURISTIC)
+    warm = greedy_partition(exact_rcg, exact_banks, slots_per_bank=slots)
+    problem = build_problem(exact_loop, exact_banks, slots, None)
+    best_exact = exact_nodes = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _, proof = solve_exact(problem, warm=warm, rcg=exact_rcg,
+                               node_limit=exact_node_limit)
+        exact_rate = proof.nodes / (time.perf_counter() - t0)
+        exact_nodes = proof.nodes
+        if best_exact is None or exact_rate > best_exact:
+            best_exact = exact_rate
+
     return {
         "mrt_ii": ii,
         "mrt_placements_per_sec": rates,
         "partition_nodes_per_sec": round(best),
+        "exact_loop": exact_loop.name,
+        "exact_search_nodes": exact_nodes,
+        "exact_nodes_per_sec": round(best_exact),
     }
 
 

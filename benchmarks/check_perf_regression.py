@@ -152,6 +152,17 @@ def check(baseline: dict, current: dict, tolerance: float,
             f"{serve['cold_request_seconds']:.3f}s = "
             f"{serve['warm_speedup']:.1f}x [not gated]"
         )
+    # Exact-solver leg: informational only.  Branch-and-bound node
+    # throughput depends on memo hit patterns that shift whenever the
+    # cost model or decision order changes, so it is trend-watched in
+    # BENCH_compile.json history rather than gated.
+    micro = current.get("micro", {})
+    if "exact_nodes_per_sec" in micro:
+        lines.append(
+            f"exact: {micro['exact_nodes_per_sec']:,} search nodes/sec "
+            f"({micro.get('exact_search_nodes', '?')} nodes on "
+            f"{micro.get('exact_loop', '?')}) [not gated]"
+        )
     if ok:
         lines.append("OK: within tolerance")
     return ok, "\n".join(lines)

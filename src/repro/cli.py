@@ -21,6 +21,7 @@ import argparse
 import pathlib
 import sys
 
+from repro.core.passes import PARTITIONERS
 from repro.core.pipeline import PipelineConfig, compile_loop
 from repro.ir.block import Loop
 from repro.ir.parser import parse_loop
@@ -149,6 +150,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if result.bank_assignment is not None:
         print(f"  register assignment: unroll x{result.bank_assignment.unroll}, "
               f"max pressure {m.max_bank_pressure}, spills {m.spilled_registers}")
+    if m.exact_cost >= 0:
+        certificate = (
+            "proven optimal" if m.exact_proven
+            else f"bound {m.exact_bound} (search interrupted)"
+        )
+        print(f"  exact oracle: cost {m.exact_cost} (greedy {m.exact_warm_cost}), "
+              f"{m.exact_nodes} nodes, {certificate}")
     if args.sim:
         print("  simulator equivalence: PASSED")
     if args.check:
@@ -199,6 +207,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     n = args.quick if args.quick is not None else 211
     loops = spec95_corpus(n=n)
     pipeline_config = PipelineConfig(
+        partitioner=args.partitioner,
         run_regalloc=args.regalloc, run_check=args.check,
         mrt_backend=args.mrt_backend,
     )
@@ -302,6 +311,74 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"JSON written to {args.json}")
     # recorded failures must be visible in the exit status, not just the text
     return 1 if run.failures else 0
+
+
+def cmd_gap(args: argparse.Namespace) -> int:
+    from repro.evalx.checkpoint import CheckpointLog, CheckpointMismatch
+    from repro.evalx.gap import compute_gap, gap_to_csv
+    from repro.evalx.runner import PAPER_CONFIG_ORDER, config_label, run_evaluation
+    from repro.workloads.corpus import spec95_corpus
+
+    if args.quick <= 0:
+        raise SystemExit("error: --quick requires a positive number of loops")
+    loops = spec95_corpus(n=args.quick)
+    labels = [config_label(nc, m) for nc, m in PAPER_CONFIG_ORDER]
+    store = _open_store(args.store) if args.store else None
+    if args.checkpoint and args.resume:
+        raise SystemExit("error: --checkpoint and --resume are mutually exclusive")
+
+    report = None
+    runs = {}
+    for leg in ("greedy", "exact"):
+        pipeline_config = PipelineConfig(
+            partitioner=leg, run_regalloc=False, mrt_backend=args.mrt_backend
+        )
+        checkpoint = None
+        try:
+            if args.checkpoint:
+                checkpoint = CheckpointLog.fresh(
+                    f"{args.checkpoint}.{leg}.jsonl", loops, labels,
+                    pipeline_config,
+                )
+            elif args.resume:
+                checkpoint = CheckpointLog.resume(
+                    f"{args.resume}.{leg}.jsonl", loops, labels,
+                    pipeline_config,
+                )
+        except CheckpointMismatch as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        if args.progress:
+            print(f"--- {leg} leg ---", file=sys.stderr)
+        try:
+            runs[leg] = run_evaluation(
+                loops=loops,
+                config=pipeline_config,
+                progress=args.progress,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                checkpoint=checkpoint,
+                store=store,
+            )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+        if runs[leg].resumed_cells:
+            print(f"[{leg}] resumed {runs[leg].resumed_cells} completed "
+                  f"cells", file=sys.stderr)
+    if store is not None:
+        hits = sum(r.store_hits for r in runs.values())
+        misses = sum(r.store_misses for r in runs.values())
+        writes = sum(r.store_writes for r in runs.values())
+        print(f"artifact store {store.path}: {hits} hits, {misses} misses "
+              f"({writes} written)", file=sys.stderr)
+    report = compute_gap(runs["greedy"], runs["exact"])
+    print(report.format())
+    if args.csv:
+        pathlib.Path(args.csv).write_text(gap_to_csv(report), encoding="utf-8")
+        print(f"\nper-loop gap CSV written to {args.csv}")
+    # exact-leg timeouts are expected (intractable loops degrading under
+    # the per-loop budget); anything else means a leg actually broke
+    return 1 if report.hard_failures else 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -437,6 +514,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue,
         pipeline_config=pipeline_config,
         metrics_out=args.metrics_out,
+        watchdog_grace=args.watchdog_grace,
     )
 
 
@@ -509,8 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--model", choices=("embedded", "copy_unit"), default="embedded")
     c.add_argument(
         "--partitioner",
-        choices=("greedy", "iterative", "bug", "uas", "random", "round_robin", "single"),
+        choices=sorted(PARTITIONERS),
         default="greedy",
+        help="bank-assignment strategy from the partitioner registry; "
+             "'exact' is the branch-and-bound optimality oracle",
     )
     c.add_argument(
         "--scheduler",
@@ -561,6 +641,14 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--quick", type=int, metavar="N", help="use only N loops")
     e.add_argument("--regalloc", action="store_true")
     e.add_argument(
+        "--partitioner",
+        choices=sorted(PARTITIONERS),
+        default="greedy",
+        help="bank-assignment strategy for every cell (default: greedy); "
+             "pair 'exact' with --timeout so intractable loops degrade "
+             "to typed timeout failures",
+    )
+    e.add_argument(
         "--mrt-backend",
         choices=("packed", "numpy", "reference"),
         default="packed",
@@ -605,6 +693,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "compilations, making re-evaluation incremental")
     e.set_defaults(func=cmd_evaluate)
 
+    g = sub.add_parser(
+        "gap",
+        help="greedy-vs-optimal copy gap: run the corpus through both the "
+             "greedy partitioner and the exact branch-and-bound oracle, "
+             "and report per-loop copy and degradation deltas",
+    )
+    g.add_argument("--quick", type=int, default=40, metavar="N",
+                   help="number of corpus loops per leg (default: 40; "
+                        "pass 211 for the full corpus)")
+    g.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS",
+                   help="per-loop wall-clock budget for each leg; exact "
+                        "searches exceeding it degrade to typed timeout "
+                        "cells in the report (default: 5.0)")
+    g.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="compile each leg with N worker processes; the "
+                        "report is byte-identical to a serial run's")
+    g.add_argument(
+        "--mrt-backend",
+        choices=("packed", "numpy", "reference"),
+        default="packed",
+        help="modulo-reservation-table backend (see `compile --help`)",
+    )
+    g.add_argument("--progress", action="store_true")
+    g.add_argument("--csv", metavar="PATH",
+                   help="write the per-(config, loop) gap rows as CSV")
+    g.add_argument("--store", metavar="DIR",
+                   help="durable artifact store shared by both legs "
+                        "(partitioner choice is part of the store key)")
+    g.add_argument("--checkpoint", metavar="PREFIX",
+                   help="record completed cells of each leg to "
+                        "PREFIX.greedy.jsonl / PREFIX.exact.jsonl")
+    g.add_argument("--resume", metavar="PREFIX",
+                   help="resume both legs from checkpoints written by an "
+                        "interrupted `repro gap --checkpoint PREFIX` run")
+    g.set_defaults(func=cmd_gap)
+
     k = sub.add_parser(
         "check",
         help="fuzz the pipeline against the cross-stage differential oracles",
@@ -629,7 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--model", choices=("embedded", "copy_unit"), default="embedded")
     d.add_argument(
         "--partitioner",
-        choices=("greedy", "iterative", "bug", "uas", "random", "round_robin", "single"),
+        choices=sorted(PARTITIONERS),
         default="greedy",
     )
     d.set_defaults(func=cmd_diagnose)
@@ -687,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission bound: refuse submissions that would "
                         "leave more than N cold cells pending "
                         f"(default: {DEFAULT_QUEUE_LIMIT})")
+    v.add_argument("--watchdog-grace", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="extra seconds a running chunk may outlive its "
+                        "worker-side deadline before the watchdog SIGKILLs "
+                        "the stuck worker and degrades its cells to "
+                        "timeout failures (default: 2.0)")
     v.add_argument("--regalloc", action="store_true",
                    help="run register allocation (same default as evaluate)")
     v.add_argument(

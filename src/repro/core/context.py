@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.tiered import ArtifactStore
 
 PartitionerName = Literal[
-    "greedy", "iterative", "bug", "uas", "random", "round_robin", "single"
+    "greedy", "iterative", "bug", "uas", "random", "round_robin", "single", "exact"
 ]
 
 SchedulerName = Literal["ims", "swing"]
@@ -110,6 +110,9 @@ class CompilationContext:
     # step 3 artifacts
     rcg: "RegisterComponentGraph | None" = None
     partition: "Partition | None" = None
+    #: optimality certificate when the ``exact`` partitioner ran
+    #: (:class:`repro.exact.bnb.ExactProof`); None for every heuristic
+    exact_proof: object | None = None
 
     # step 4-5 artifacts (rebound by spill retries)
     current_loop: Loop | None = None

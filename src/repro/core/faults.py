@@ -46,6 +46,7 @@ T = TypeVar("T")
 FAULT_CRASH_ENV = "REPRO_FAULT_CRASH"
 FAULT_HANG_ENV = "REPRO_FAULT_HANG"
 FAULT_RAISE_ENV = "REPRO_FAULT_RAISE"
+FAULT_STUCK_ENV = "REPRO_FAULT_STUCK"
 
 #: exit status of an injected crash — distinctive, so a worker found dead
 #: with it in CI logs is unambiguously the fixture, not a real fault.
@@ -157,7 +158,11 @@ def maybe_inject_fault(name: str) -> None:
     * ``REPRO_FAULT_HANG`` — sleep for an hour, the stand-in for a
       schedule that never converges (a wrapping :func:`deadline` turns
       this into :class:`DeadlineExceeded`);
-    * ``REPRO_FAULT_RAISE`` — raise ``RuntimeError``.
+    * ``REPRO_FAULT_RAISE`` — raise ``RuntimeError``;
+    * ``REPRO_FAULT_STUCK`` — block ``SIGALRM`` and *then* sleep: a hang
+      that :func:`deadline` cannot interrupt, modelling a worker wedged
+      in uninterruptible work (C extension, kernel wait).  Only the
+      serve watchdog's ``SIGKILL`` recovers from this one.
 
     Environment variables travel to pool workers for free, so one
     mechanism drives serial, parallel and subprocess (CLI) fault tests.
@@ -168,3 +173,7 @@ def maybe_inject_fault(name: str) -> None:
         time.sleep(3600.0)
     if name in _names_in(FAULT_RAISE_ENV):
         raise RuntimeError(f"injected fault for {name!r}")
+    if name in _names_in(FAULT_STUCK_ENV):
+        if hasattr(signal, "pthread_sigmask"):
+            signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+        time.sleep(3600.0)

@@ -187,6 +187,16 @@ def _single(ctx: CompilationContext) -> Partition:
     return single_bank_partition(ctx.loop, ctx.machine.n_clusters)
 
 
+@register_partitioner("exact")
+def _exact(ctx: CompilationContext) -> Partition:
+    # the optimality oracle (ROADMAP item 2): branch-and-bound to a
+    # proven optimum, greedy-seeded so it is never worse than "greedy";
+    # lazily imported to keep the common pipeline import-light
+    from repro.exact.strategy import exact_partition_context
+
+    return exact_partition_context(ctx)
+
+
 # ----------------------------------------------------------------------
 # Concrete passes
 # ----------------------------------------------------------------------
@@ -546,6 +556,7 @@ class ComputeMetrics:
         max_pressure = (
             ctx.bank_assignment.max_pressure if ctx.bank_assignment is not None else 0
         )
+        proof = ctx.exact_proof
         ctx.metrics = LoopMetrics(
             loop_name=ctx.loop.name,
             machine_name=ctx.machine.name,
@@ -566,6 +577,11 @@ class ComputeMetrics:
             max_bank_pressure=max_pressure,
             spilled_registers=ctx.spilled_total,
             sim_checked=ctx.sim_checked,
+            exact_cost=proof.cost if proof is not None else -1,
+            exact_bound=proof.bound if proof is not None else -1,
+            exact_nodes=proof.nodes if proof is not None else 0,
+            exact_proven=proof.proven if proof is not None else False,
+            exact_warm_cost=proof.warm_cost if proof is not None else -1,
         )
         registry = ctx.metrics_registry
         if registry is not None:

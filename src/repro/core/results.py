@@ -110,6 +110,18 @@ class LoopMetrics:
     # validation
     sim_checked: bool = False
 
+    # exact-partitioner proof metadata (``partitioner="exact"`` cells
+    # only; the defaults mark "no exact search ran").  ``exact_cost`` is
+    # the objective of the returned partition, ``exact_bound`` the
+    # certified lower bound at exit (== cost iff ``exact_proven``),
+    # ``exact_warm_cost`` the greedy warm start's objective — their
+    # difference is the per-loop optimality gap.
+    exact_cost: int = -1
+    exact_bound: int = -1
+    exact_nodes: int = 0
+    exact_proven: bool = False
+    exact_warm_cost: int = -1
+
     @property
     def normalized_kernel(self) -> float:
         """Kernel size normalized to ideal = 100 (Table 2 units)."""

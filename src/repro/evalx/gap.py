@@ -1,0 +1,292 @@
+"""Greedy-vs-optimal gap report (``repro gap``).
+
+The exact branch-and-bound partitioner (:mod:`repro.exact`) is an
+*optimality oracle*: for every loop it solves within budget, it certifies
+the minimum copy objective any bank assignment can achieve.  This module
+joins two corpus evaluations — one with the paper's greedy partitioner,
+one with the exact oracle — into a per-loop gap report: how many copies
+greedy left on the table, and what that cost in schedule degradation.
+
+Both legs run through the ordinary evaluation runner, so every
+fault-tolerance property carries over: an intractable loop degrades to a
+typed ``timeout`` cell (reported honestly in the table), never a hang.
+The report contains **no wall-clock lines**, so its text is byte-identical
+across serial, parallel and resumed runs — the determinism tests assert
+exactly that.
+
+Objectives are compared in the exact partitioner's own cost model
+(:mod:`repro.exact.cost`): ``OVERFLOW_WEIGHT * overflow + body_copies``,
+where the warm cost is the greedy partition scored by that same function.
+A gap therefore decomposes into an *overflow* component (greedy exceeded
+bank capacity where the optimum does not) and a *copy* component.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.core.results import LoopFailure
+from repro.evalx.runner import EvalRun
+from repro.exact.cost import OVERFLOW_WEIGHT
+
+#: column width of the per-configuration table, matching table2.py
+_COL = 24
+_STUB = 26
+
+
+def _split(cost: int) -> tuple[int, int]:
+    """Decompose an exact objective into (overflow, body copies)."""
+    if cost < 0:
+        return (-1, -1)
+    return divmod(cost, OVERFLOW_WEIGHT)
+
+
+@dataclass(frozen=True)
+class GapCell:
+    """One (configuration, loop) comparison between the two legs."""
+
+    config: str
+    loop_name: str
+    #: ``proven`` (exact found + certified the optimum), ``unproven``
+    #: (search interrupted with an uncertified incumbent), ``timeout``
+    #: (exact leg hit the per-loop budget), ``failed`` (either leg failed
+    #: some other way — never expected on the shipped corpus)
+    status: str
+    greedy_copies: int = -1
+    greedy_degradation: float = 0.0
+    exact_cost: int = -1
+    exact_bound: int = -1
+    exact_nodes: int = 0
+    exact_warm_cost: int = -1
+    exact_copies: int = -1
+    exact_degradation: float = 0.0
+
+    @property
+    def solved(self) -> bool:
+        return self.status in ("proven", "unproven")
+
+    @property
+    def overflow_gap(self) -> int:
+        """Bank-capacity overflow greedy incurred beyond the exact answer."""
+        if not self.solved:
+            return 0
+        return _split(self.exact_warm_cost)[0] - _split(self.exact_cost)[0]
+
+    @property
+    def copy_gap(self) -> int:
+        """Body copies greedy used beyond the exact answer."""
+        if not self.solved:
+            return 0
+        return _split(self.exact_warm_cost)[1] - _split(self.exact_cost)[1]
+
+    @property
+    def objective_gap(self) -> int:
+        if not self.solved:
+            return 0
+        return self.exact_warm_cost - self.exact_cost
+
+    @property
+    def degradation_delta(self) -> float:
+        """Degradation points greedy pays over the exact partition (may be
+        negative when downstream scheduling luck favors greedy)."""
+        return self.greedy_degradation - self.exact_degradation
+
+
+@dataclass
+class GapReport:
+    """Joined gap cells for every configuration of one ``repro gap`` run."""
+
+    labels: list[str] = field(default_factory=list)
+    cells: dict[str, list[GapCell]] = field(default_factory=dict)
+    #: leg failures that were *not* exact-leg timeouts; any entry here
+    #: means something actually broke and the CLI exits non-zero
+    hard_failures: list[LoopFailure] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def all_cells(self) -> list[GapCell]:
+        return [cell for label in self.labels for cell in self.cells[label]]
+
+    def _count(self, label: str, pred) -> int:
+        return sum(1 for c in self.cells[label] if pred(c))
+
+    def format(self) -> str:
+        """Render the paper-style summary table plus the suboptimal-loop
+        listing.  Deliberately free of timing: byte-identical output
+        across serial/parallel/resumed executions."""
+        out = io.StringIO()
+        print("Greedy vs. Exact Partitioner -- Copy-Objective Gap", file=out)
+        print(f"{'':<{_STUB}}"
+              + "".join(f"{label:>{_COL}}" for label in self.labels), file=out)
+
+        def row(title: str, fn) -> None:
+            print(f"{title:<{_STUB}}"
+                  + "".join(f"{fn(label):>{_COL}}" for label in self.labels),
+                  file=out)
+
+        row("Loops compared", lambda l: len(self.cells[l]))
+        row("Proven optimal",
+            lambda l: self._count(l, lambda c: c.status == "proven"))
+        row("Unproven (interrupted)",
+            lambda l: self._count(l, lambda c: c.status == "unproven"))
+        row("Timed out",
+            lambda l: self._count(l, lambda c: c.status == "timeout"))
+        row("Other failures",
+            lambda l: self._count(l, lambda c: c.status == "failed"))
+        row("Greedy matched optimal",
+            lambda l: self._count(
+                l, lambda c: c.status == "proven" and c.objective_gap == 0))
+        row("Greedy beaten",
+            lambda l: self._count(
+                l, lambda c: c.solved and c.objective_gap > 0))
+        row("Overflow fixed by exact",
+            lambda l: self._count(l, lambda c: c.overflow_gap > 0))
+
+        def mean_copy_gap(label: str) -> str:
+            solved = [c for c in self.cells[label] if c.solved]
+            if not solved:
+                return "-"
+            return f"{sum(c.copy_gap for c in solved) / len(solved):.2f}"
+
+        def max_copy_gap(label: str) -> str:
+            solved = [c for c in self.cells[label] if c.solved]
+            return f"{max((c.copy_gap for c in solved), default=0)}"
+
+        def mean_degr_delta(label: str) -> str:
+            solved = [c for c in self.cells[label] if c.solved]
+            if not solved:
+                return "-"
+            mean = sum(c.degradation_delta for c in solved) / len(solved)
+            return f"{mean:+.1f}"
+
+        row("Mean copy gap", mean_copy_gap)
+        row("Max copy gap", max_copy_gap)
+        row("Mean degradation delta", mean_degr_delta)
+
+        beaten = sorted(
+            (c for c in self.all_cells() if c.solved and c.objective_gap > 0),
+            key=lambda c: (-c.objective_gap, c.loop_name, c.config),
+        )
+        if beaten:
+            print(file=out)
+            print("-- loops where greedy is suboptimal "
+                  "(largest objective gap first) --", file=out)
+            for c in beaten:
+                w_ovf, w_cp = _split(c.exact_warm_cost)
+                e_ovf, e_cp = _split(c.exact_cost)
+                cert = "proven" if c.status == "proven" \
+                    else f"bound {c.exact_bound}"
+                parts = []
+                if c.overflow_gap:
+                    parts.append(f"overflow {w_ovf}->{e_ovf}")
+                parts.append(f"copies {w_cp}->{e_cp}")
+                print(f"  {c.loop_name} @ {c.config}: "
+                      f"{', '.join(parts)} ({cert})", file=out)
+        return out.getvalue().rstrip("\n")
+
+
+#: CSV columns of :func:`gap_to_csv`, one row per (configuration, loop)
+GAP_CSV_FIELDS: tuple[str, ...] = (
+    "config", "loop_name", "status",
+    "greedy_copies", "greedy_degradation",
+    "exact_cost", "exact_bound", "exact_nodes", "exact_warm_cost",
+    "exact_copies", "exact_degradation",
+    "overflow_gap", "copy_gap", "objective_gap", "degradation_delta",
+)
+
+
+def gap_to_csv(report: GapReport) -> str:
+    import csv
+
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(GAP_CSV_FIELDS)
+    for c in report.all_cells():
+        writer.writerow([
+            c.config, c.loop_name, c.status,
+            c.greedy_copies, f"{c.greedy_degradation:.4f}",
+            c.exact_cost, c.exact_bound, c.exact_nodes, c.exact_warm_cost,
+            c.exact_copies, f"{c.exact_degradation:.4f}",
+            c.overflow_gap, c.copy_gap, c.objective_gap,
+            f"{c.degradation_delta:.4f}",
+        ])
+    return out.getvalue()
+
+
+def compute_gap(greedy_run: EvalRun, exact_run: EvalRun) -> GapReport:
+    """Join a greedy-leg and an exact-leg :class:`EvalRun` by
+    (configuration label, loop name).
+
+    Cell order per configuration is the greedy leg's loop order (the
+    runner's deterministic configuration-major/loop-minor assembly), with
+    any greedy-failed loops appended in failure order — so the report is
+    reproducible however either leg was executed.
+    """
+    report = GapReport()
+    g_fail = {(f.config, f.loop_name): f for f in greedy_run.failures}
+    e_fail = {(f.config, f.loop_name): f for f in exact_run.failures}
+    for label in greedy_run.config_labels():
+        if label not in exact_run.per_config and not any(
+            f.config == label for f in exact_run.failures
+        ):
+            continue
+        g_by_name = {m.loop_name: m for m in greedy_run.per_config[label]}
+        e_by_name = {
+            m.loop_name: m for m in exact_run.per_config.get(label, [])
+        }
+        names = [m.loop_name for m in greedy_run.per_config[label]]
+        names += [
+            f.loop_name for f in greedy_run.failures
+            if f.config == label and f.loop_name not in g_by_name
+        ]
+        cells: list[GapCell] = []
+        for name in names:
+            g = g_by_name.get(name)
+            e = e_by_name.get(name)
+            ef = e_fail.get((label, name))
+            gf = g_fail.get((label, name))
+            if g is None or (e is None and ef is None):
+                # a greedy-leg timeout is still the budget doing its job;
+                # anything else here is a leg that actually broke (or two
+                # runs over different corpora)
+                failure = gf or ef or LoopFailure(
+                    config=label, loop_name=name,
+                    error="cell missing from one gap leg", kind="exception",
+                )
+                status = "timeout" if failure.kind == "timeout" else "failed"
+                cells.append(GapCell(config=label, loop_name=name,
+                                     status=status))
+                if status == "failed":
+                    report.hard_failures.append(failure)
+                continue
+            if e is None:
+                status = "timeout" if ef.kind == "timeout" else "failed"
+                if status == "failed":
+                    report.hard_failures.append(ef)
+                cells.append(GapCell(
+                    config=label, loop_name=name, status=status,
+                    greedy_copies=g.n_body_copies,
+                    greedy_degradation=g.degradation_pct,
+                ))
+                continue
+            cells.append(GapCell(
+                config=label, loop_name=name,
+                status="proven" if e.exact_proven else "unproven",
+                greedy_copies=g.n_body_copies,
+                greedy_degradation=g.degradation_pct,
+                exact_cost=e.exact_cost,
+                exact_bound=e.exact_bound,
+                exact_nodes=e.exact_nodes,
+                exact_warm_cost=e.exact_warm_cost,
+                exact_copies=e.n_body_copies,
+                exact_degradation=e.degradation_pct,
+            ))
+        report.labels.append(label)
+        report.cells[label] = cells
+    # greedy-leg failures with no surviving cell entry are hard failures
+    for (label, name), f in sorted(g_fail.items()):
+        if label in report.cells and not any(
+            c.loop_name == name for c in report.cells[label]
+        ):
+            report.hard_failures.append(f)
+    return report

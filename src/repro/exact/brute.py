@@ -1,0 +1,44 @@
+"""Brute-force bank-assignment enumeration (the oracle's oracle).
+
+For loops small enough that ``n_banks ** n_regs`` is tractable, the
+optimal cost can be computed with no cleverness at all: enumerate every
+assignment respecting the pre-colored pins and take the cheapest under
+:func:`repro.exact.cost.assignment_cost`.  The test suite cross-checks
+the branch-and-bound solver against this on seeded small loops — any
+bound, symmetry or dominance bug in :mod:`repro.exact.bnb` shows up as
+a cost mismatch here.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exact.cost import ExactProblem, assignment_cost
+
+#: refuse enumerations beyond this many assignments — brute force is a
+#: test oracle, not a backend; a silent week-long loop helps nobody.
+ENUMERATION_LIMIT = 5_000_000
+
+
+def enumerate_assignments(problem: ExactProblem):
+    """Yield every complete ``{rid: bank}`` assignment (pins respected)."""
+    free = [rid for rid in problem.regs if rid not in problem.precolored]
+    total = problem.n_banks ** len(free)
+    if total > ENUMERATION_LIMIT:
+        raise ValueError(
+            f"{problem.loop_name}: {problem.n_banks}^{len(free)} = {total} "
+            f"assignments exceeds the brute-force limit ({ENUMERATION_LIMIT})"
+        )
+    base = dict(problem.precolored)
+    for combo in itertools.product(range(problem.n_banks), repeat=len(free)):
+        assignment = dict(base)
+        assignment.update(zip(free, combo))
+        yield assignment
+
+
+def brute_force_cost(problem: ExactProblem) -> int:
+    """The provably-optimal objective value, by exhaustive enumeration."""
+    return min(
+        assignment_cost(problem, assignment)
+        for assignment in enumerate_assignments(problem)
+    )

@@ -66,6 +66,10 @@ from repro.store.entry import StoreEntryError
 from repro.store.tiered import ArtifactStore, StoreStats
 
 
+class _WatchdogReaped(Exception):
+    """Internal: a chunk's worker was reaped; its cells are settled."""
+
+
 class _ColdCell:
     """One admitted cold cell: identity, dedup slot and worker inputs."""
 
@@ -92,6 +96,7 @@ class CompileService:
         cell_timeout: float | None = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         tracer: Tracer | None = None,
+        watchdog_grace: float = 2.0,
     ):
         self.store_path = store_path
         self.store = ArtifactStore.open(store_path)
@@ -102,6 +107,7 @@ class CompileService:
         )
         self.cell_timeout = cell_timeout
         self.queue_limit = queue_limit
+        self.watchdog_grace = watchdog_grace
         self.metrics = MetricsRegistry()
         self.tracer = tracer
         self.worker_store_stats = StoreStats()
@@ -117,6 +123,13 @@ class CompileService:
         self._draining = False
         self._drained = asyncio.Event()
         self._isolate_lock = asyncio.Lock()
+        #: at most ``jobs`` chunks may be submitted to the pool at once.
+        #: ProcessPoolExecutor marks queued work items RUNNING as soon as
+        #: they enter its call queue, so without this gate the watchdog
+        #: could not tell a stuck chunk from one parked behind it and
+        #: would reap innocents; gated, a submitted chunk is genuinely
+        #: executing and its running time is honest.
+        self._pool_gate = asyncio.Semaphore(self.jobs)
         self._machines: dict[str, MachineDescription] = {}
         self._prefixes: dict[str, StoreKeyPrefix] = {}
 
@@ -458,25 +471,107 @@ class CompileService:
             self.pipeline_config, self.cell_timeout, budget, self.store_path,
         )
 
+    def _watchdog_limit(
+        self, n_cells: int, budget: float | None
+    ) -> float | None:
+        """How long a *running* chunk may take before the watchdog reaps
+        its worker.  The worker's own deadlines bound it to
+        ``min(request budget, cell_timeout * n_cells)``; the grace on top
+        covers honest overhead (store writes, pickling).  ``None`` means
+        the chunk carries no deadline at all and runs unsupervised."""
+        bounds = []
+        if budget is not None:
+            bounds.append(budget)
+        if self.cell_timeout is not None:
+            bounds.append(self.cell_timeout * n_cells)
+        if not bounds:
+            return None
+        return min(bounds) + self.watchdog_grace
+
     async def _run_chunk(
         self, cells: list[_ColdCell], budget: float | None
     ) -> None:
         """Compile one chunk; poison isolation mirrors the evalx runner."""
-        loop = asyncio.get_running_loop()
-        pool = self._pool
-        try:
-            outcomes, stats = await loop.run_in_executor(
-                pool, compile_serve_chunk, self._payload(cells, budget),
-            )
-        except Exception as exc:
-            # the chunk poisoned its worker (or did not survive pickling):
-            # isolate cell-by-cell on a healthy pool
-            self.metrics.counter("serve.pool_breaks").inc()
-            if isinstance(exc, BrokenExecutor):
-                self._pool_failed(pool)
-            await self._isolate(cells, budget)
-            return
+        async with self._pool_gate:
+            # read the live pool only once a slot is free: a chunk that
+            # waited out a watchdog reap must land on the replacement
+            # pool, not the corpse
+            pool = self._pool
+            try:
+                outcomes, stats = await self._supervise(pool, cells, budget)
+            except _WatchdogReaped:
+                return  # cells already absorbed as timeout failures
+            except Exception as exc:
+                # the chunk poisoned its worker (or did not survive
+                # pickling): isolate cell-by-cell on a healthy pool
+                self.metrics.counter("serve.pool_breaks").inc()
+                if isinstance(exc, BrokenExecutor):
+                    self._pool_failed(pool)
+                await self._isolate(cells, budget)
+                return
         self._absorb(outcomes, stats)
+
+    async def _supervise(
+        self, pool: ProcessPoolExecutor, cells: list[_ColdCell],
+        budget: float | None,
+    ):
+        """Run one chunk on ``pool``, reaping a worker stuck past its
+        deadline.
+
+        The worker enforces its own budgets with ``SIGALRM`` deadlines —
+        which a worker wedged in uninterruptible work (C extension,
+        blocked signals; see ``REPRO_FAULT_STUCK``) never honours.
+        Without supervision such a worker occupies a pool slot forever
+        and its cells' futures never resolve, leaking ``_pending_cells``
+        until admission refuses everything.  The watchdog accumulates
+        time only while the chunk is actually *running* (a queued chunk
+        behind a slow one is not stuck) and, past the limit, ``SIGKILL``s
+        the pool's processes — the only signal a wedged worker cannot
+        block — swaps in a fresh pool and degrades the chunk's cells to
+        typed ``timeout`` failures.
+        """
+        cf = pool.submit(compile_serve_chunk, self._payload(cells, budget))
+        afut = asyncio.wrap_future(cf)
+        limit = self._watchdog_limit(len(cells), budget)
+        if limit is None:
+            return await afut
+        poll = min(0.1, limit / 4)
+        running_for = 0.0
+        while True:
+            try:
+                return await asyncio.wait_for(asyncio.shield(afut), poll)
+            except asyncio.TimeoutError:
+                if cf.running():
+                    running_for += poll
+                if running_for >= limit:
+                    break
+        # the chunk may have completed between the last poll and now
+        if afut.done() and not afut.cancelled() and afut.exception() is None:
+            return afut.result()
+        self.metrics.counter("serve.watchdog_reaps").inc()
+        # the abandoned future will fail once the pool dies; retrieve the
+        # exception so it is not logged as never-consumed
+        afut.add_done_callback(
+            lambda f: None if f.cancelled() else f.exception()
+        )
+        if not cf.cancel():
+            procs = list((pool._processes or {}).values())
+            for proc in procs:
+                proc.kill()
+        self._pool_failed(pool)
+        self._absorb([
+            Cell(
+                loop_index=cell.slot, config=cell.label,
+                failure=LoopFailure(
+                    config=cell.label, loop_name=cell.loop.name,
+                    error=f"worker stuck past its deadline; reaped by the "
+                          f"watchdog after {running_for:.1f}s",
+                    kind="timeout",
+                ),
+            )
+            for cell in cells
+        ], None)
+        raise _WatchdogReaped()
 
     async def _isolate(
         self, cells: list[_ColdCell], budget: float | None
@@ -524,9 +619,11 @@ class CompileService:
             self.worker_store_stats.merge(stats)
         for cell in outcomes:
             digest = self._slot_digest.pop(cell.loop_index, None)
-            self._pending_cells -= 1
             if digest is None:
+                # already settled (a reaped chunk that then raced its own
+                # completion): never double-count the queue depth
                 continue
+            self._pending_cells -= 1
             fut = self._inflight.pop(digest, None)
             if fut is not None and not fut.done():
                 fut.set_result(cell)
@@ -547,6 +644,7 @@ def serve_forever(
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
     pipeline_config: PipelineConfig | None = None,
     metrics_out: str | None = None,
+    watchdog_grace: float = 2.0,
 ) -> int:
     """Run the daemon until a drain completes; returns the exit status.
 
@@ -560,6 +658,7 @@ def serve_forever(
         service = CompileService(
             store_path, jobs=jobs, pipeline_config=pipeline_config,
             cell_timeout=cell_timeout, queue_limit=queue_limit,
+            watchdog_grace=watchdog_grace,
         )
         server = await asyncio.start_server(service.handle_client, host, port)
         bound = server.sockets[0].getsockname()

@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from repro.core.faults import FAULT_CRASH_ENV
+from repro.core.faults import FAULT_CRASH_ENV, FAULT_STUCK_ENV
 from repro.core.pipeline import PipelineConfig
 from repro.evalx.export import run_to_csv
 from repro.evalx.runner import (
@@ -287,6 +287,60 @@ class TestServeEndToEnd:
         assert all(c.ok for name, cs in by_loop.items() if name != victim
                    for c in cs)
         assert daemon.stop() == 0
+
+    def test_watchdog_reaps_stuck_worker(self, daemon_factory):
+        """A worker wedged past every SIGALRM deadline (blocked signals,
+        modelled by REPRO_FAULT_STUCK) must not hang the request or leak
+        its queue slots: the watchdog SIGKILLs it, the victim's cells
+        degrade to typed timeout failures, and the innocent loop still
+        compiles on the replacement pool."""
+        loops = spec95_corpus(n=2)
+        victim = loops[0].name
+        daemon = daemon_factory(
+            "--jobs", "1", "--timeout", "0.5", "--watchdog-grace", "0.5",
+            env={FAULT_STUCK_ENV: victim},
+        )
+        t0 = time.monotonic()
+        with daemon.client(timeout=60.0) as client:
+            result = client.submit(loops, deadline=10.0, request_id="stuck")
+            stats = client.stats()
+        elapsed = time.monotonic() - t0
+        # the request met its deadline instead of waiting out the hour-
+        # long stuck sleep (watchdog limit: 0.5s/cell * 6 cells + grace)
+        assert elapsed < 10.0
+        assert len(result.cells) == len(loops) * len(PAPER_CONFIG_ORDER)
+        by_loop: dict[str, list] = {}
+        for cell in result.cells:
+            by_loop.setdefault(cell.loop_name, []).append(cell)
+        for cell in by_loop[victim]:
+            assert not cell.ok
+            assert cell.failure.kind == "timeout"
+            assert "watchdog" in cell.failure.error
+        assert all(c.ok for name, cs in by_loop.items() if name != victim
+                   for c in cs)
+        assert stats["metrics"]["counters"]["serve.watchdog_reaps"] == 1
+        # no leaked queue slots: admission is fully recovered
+        assert stats["queue_depth"] == 0
+        assert stats["inflight_keys"] == 0
+        assert daemon.stop() == 0
+
+    def test_watchdog_limit_composition(self, tmp_path):
+        from repro.serve.server import CompileService
+
+        svc = CompileService(str(tmp_path / "wd-store"), cell_timeout=2.0,
+                             watchdog_grace=1.0)
+        try:
+            assert svc._watchdog_limit(3, None) == 7.0
+            assert svc._watchdog_limit(3, 4.0) == 5.0
+            assert svc._watchdog_limit(1, 10.0) == 3.0
+        finally:
+            svc.close()
+        unbounded = CompileService(str(tmp_path / "wd-store2"))
+        try:
+            assert unbounded._watchdog_limit(5, None) is None
+            assert unbounded._watchdog_limit(5, 4.0) == 6.0
+        finally:
+            unbounded.close()
 
     def test_malformed_loop_is_refused(self, daemon_factory):
         daemon = daemon_factory()
